@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/heur"
+	"repro/internal/platforms"
+	"repro/internal/sim"
+	"repro/internal/steady"
+	"repro/internal/tiers"
+	"repro/internal/tree"
+)
+
+// Core model types.
+type (
+	// Graph is a heterogeneous platform: an edge-weighted digraph whose
+	// edge costs are transfer times per unit-size message.
+	Graph = graph.Graph
+	// NodeID identifies a platform node.
+	NodeID = graph.NodeID
+	// Problem is a Series-of-Multicasts instance: platform, source and
+	// target set.
+	Problem = steady.Problem
+	// Bound is the outcome of one of the steady-state LP programs.
+	Bound = steady.Bound
+	// HeuristicResult is the outcome of one heuristic run.
+	HeuristicResult = heur.Result
+	// Heuristic is a named algorithm for the Series problem.
+	Heuristic = heur.Heuristic
+	// Tree is a multicast arborescence.
+	Tree = tree.Tree
+	// WeightedTree is a multicast tree carrying a steady-state rate.
+	WeightedTree = tree.WeightedTree
+	// Packing is an optimal weighted tree packing (the exact optimum).
+	Packing = tree.Packing
+	// SimReport summarises a one-port simulation run.
+	SimReport = sim.Report
+	// ExamplePlatform is one of the paper's worked example platforms.
+	ExamplePlatform = platforms.Platform
+	// TiersPlatform is a generated hierarchical topology.
+	TiersPlatform = tiers.Platform
+)
+
+// NewPlatform returns an empty platform graph.
+func NewPlatform() *Graph { return graph.New() }
+
+// NewProblem validates and builds a Series-of-Multicasts instance.
+func NewProblem(g *Graph, source NodeID, targets []NodeID) (Problem, error) {
+	return steady.NewProblem(g, source, targets)
+}
+
+// ScatterBound computes the paper's Multicast-UB: the achievable
+// scatter relaxation, an upper bound on the optimal period.
+func ScatterBound(p Problem) (*Bound, error) { return steady.ScatterUB(p) }
+
+// LowerBound computes the paper's Multicast-LB: the optimistic
+// relaxation, a lower bound on the optimal period (not achievable in
+// general).
+func LowerBound(p Problem) (*Bound, error) { return steady.MulticastLB(p) }
+
+// BroadcastBound computes Broadcast-EB: the exact optimal steady-state
+// broadcast period of the active platform.
+func BroadcastBound(g *Graph, source NodeID) (*Bound, error) {
+	return steady.BroadcastEB(g, source)
+}
+
+// Heuristics returns the paper's heuristic set (MCPH, Augmented
+// Multicast, Reduced Broadcast, Augmented Sources).
+func Heuristics() []Heuristic { return heur.All() }
+
+// Optimal computes the exact optimal steady-state multicast throughput
+// via the Theorem 4 weighted tree-packing LP (exponential in the number
+// of targets; small instances only).
+func Optimal(g *Graph, source NodeID, targets []NodeID) (*Packing, error) {
+	return tree.PackOptimal(g, source, targets)
+}
+
+// BestSingleTree computes the exact best single multicast tree (the
+// COMPACT-MULTICAST optimum for S = 2; exponential, small instances
+// only).
+func BestSingleTree(g *Graph, source NodeID, targets []NodeID) (*Tree, float64, error) {
+	return tree.BestSingleTree(g, source, targets)
+}
+
+// Simulate runs count pipelined multicasts through the weighted trees
+// under the one-port model and reports the sustained throughput.
+func Simulate(g *Graph, source NodeID, targets []NodeID, trees []WeightedTree, count int) (*SimReport, error) {
+	return sim.Run(g, source, targets, trees, count)
+}
+
+// GenerateSmallPlatform generates the paper's "small" Tiers-like
+// platform preset (30 nodes, 17 LAN hosts).
+func GenerateSmallPlatform(seed int64) (*TiersPlatform, error) {
+	return tiers.Generate(tiers.Small(seed))
+}
+
+// GenerateBigPlatform generates the paper's "big" preset (65 nodes, 47
+// LAN hosts).
+func GenerateBigPlatform(seed int64) (*TiersPlatform, error) {
+	return tiers.Generate(tiers.Big(seed))
+}
+
+// RandomTargets draws a target set of the given density from a
+// generated platform's LAN hosts.
+func RandomTargets(p *TiersPlatform, rng *rand.Rand, density float64) []NodeID {
+	return p.RandomTargets(rng, density)
+}
+
+// Figure1, Figure4 and Figure5 return the paper's worked example
+// platforms (see internal/platforms for their derivations).
+func Figure1() ExamplePlatform { return platforms.Figure1() }
+
+// Figure4 returns the "neither bound is tight" gadget.
+func Figure4() ExamplePlatform { return platforms.Figure4() }
+
+// Figure5 returns the |Ptarget|-gap relay star.
+func Figure5() ExamplePlatform { return platforms.Figure5() }
+
+// SweepConfig parameterises a Figure 11 density sweep.
+type SweepConfig = exp.Config
+
+// SweepCell is one aggregated (density, series) data point.
+type SweepCell = exp.Cell
+
+// RunSweep executes a Figure 11 experiment sweep.
+func RunSweep(cfg SweepConfig) ([]SweepCell, error) { return exp.Run(cfg) }
+
+// SweepTable renders sweep cells as one Figure 11 panel ("scatter" or
+// "lb" baseline).
+func SweepTable(cells []SweepCell, baseline string) string { return exp.Table(cells, baseline) }

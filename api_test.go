@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd drives the whole public surface on the paper's
+// Figure 1 example: bounds, heuristics, exact optimum and simulation.
+func TestFacadeEndToEnd(t *testing.T) {
+	pl := repro.Figure1()
+	p, err := repro.NewProblem(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := repro.LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := repro.ScatterBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Period > ub.Period {
+		t.Fatalf("LB %v > UB %v", lb.Period, ub.Period)
+	}
+	pk, err := repro.Optimal(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pk.Throughput-1) > 1e-6 {
+		t.Fatalf("optimal throughput = %v, want 1", pk.Throughput)
+	}
+	_, single, err := repro.BestSingleTree(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single <= pk.Period()+1e-9 {
+		t.Fatalf("single tree %v should be worse than packing %v", single, pk.Period())
+	}
+	for _, h := range repro.Heuristics() {
+		res, err := h.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if res.Period < lb.Period-1e-6 {
+			t.Fatalf("%s beats the lower bound", h.Name)
+		}
+	}
+	rep, err := repro.Simulate(pl.G, pl.Source, pl.Targets, pk.Trees, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < 0.85 {
+		t.Fatalf("simulated optimal packing at %v", rep.Throughput)
+	}
+}
+
+func TestFacadeTiersAndSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	pl, err := repro.GenerateSmallPlatform(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.G.NumNodes() != 30 {
+		t.Fatalf("small platform nodes = %d", pl.G.NumNodes())
+	}
+	cells, err := repro.RunSweep(repro.SweepConfig{
+		Size:      "small",
+		Platforms: 1,
+		Densities: []float64{0.3},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if out := repro.SweepTable(cells, "lb"); len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

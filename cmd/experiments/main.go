@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's Figure 11: the target
+// density sweep over random Tiers-like platforms, reporting the mean
+// period of every bound and heuristic relative to the scatter upper
+// bound (panels a/c) and to the theoretical lower bound (panels b/d).
+//
+// The full paper-scale run (10 platforms, 6 densities, both sizes)
+// takes a while; -platforms and -densities trade fidelity for time.
+//
+// Usage:
+//
+//	experiments -size small -baseline scatter        # Figure 11(a)
+//	experiments -size small -baseline lb             # Figure 11(b)
+//	experiments -size big   -baseline scatter        # Figure 11(c)
+//	experiments -size big   -baseline lb             # Figure 11(d)
+//	experiments -size small -baseline both -csv out.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		size      = flag.String("size", "small", `platform preset: "small" or "big"`)
+		platforms = flag.Int("platforms", 10, "number of random platforms (the paper uses 10)")
+		densities = flag.String("densities", "", "comma-separated target densities (default: the paper's sweep)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		baseline  = flag.String("baseline", "both", `ratio baseline: "scatter", "lb" or "both"`)
+		csvOut    = flag.String("csv", "", "also write raw cells as CSV to this file")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Size: *size, Platforms: *platforms, Seed: *seed}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	if *densities != "" {
+		for _, part := range strings.Split(*densities, ",") {
+			d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad density %q: %v", part, err)
+			}
+			cfg.Densities = append(cfg.Densities, d)
+		}
+	}
+
+	cells, err := exp.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *baseline {
+	case "scatter":
+		fmt.Printf("ratio of periods to the scatter bound (%s platforms)\n\n%s", *size, exp.Table(cells, "scatter"))
+	case "lb":
+		fmt.Printf("ratio of periods to the lower bound (%s platforms)\n\n%s", *size, exp.Table(cells, "lb"))
+	case "both":
+		fmt.Printf("ratio of periods to the scatter bound (%s platforms)\n\n%s\n", *size, exp.Table(cells, "scatter"))
+		fmt.Printf("ratio of periods to the lower bound (%s platforms)\n\n%s", *size, exp.Table(cells, "lb"))
+	default:
+		log.Fatalf("unknown baseline %q", *baseline)
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"density", "series", "vs_scatter", "vs_lb", "runs"}); err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cells {
+			rec := []string{
+				strconv.FormatFloat(c.Density, 'g', 6, 64),
+				c.Series,
+				strconv.FormatFloat(c.VsScatter, 'g', 8, 64),
+				strconv.FormatFloat(c.VsLB, 'g', 8, 64),
+				strconv.Itoa(c.Runs),
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

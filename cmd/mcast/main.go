@@ -1,0 +1,152 @@
+// Command mcast analyses a Series-of-Multicasts instance: it loads a
+// platform (from a file in the graph text format, or a generated
+// Tiers-like topology), computes the paper's LP bounds, runs the
+// heuristics, and optionally the exact optimum on small instances.
+//
+// Usage:
+//
+//	mcast -platform file.graph -source S -targets a,b,c [-exact] [-dot out.dot]
+//	mcast -tiers small -seed 1 -density 0.4 [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/heur"
+	"repro/internal/steady"
+	"repro/internal/tiers"
+	"repro/internal/tree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcast: ")
+	var (
+		platformFile = flag.String("platform", "", "platform file in the graph text format")
+		sourceName   = flag.String("source", "", "source node name (with -platform)")
+		targetNames  = flag.String("targets", "", "comma-separated target node names (with -platform)")
+		tiersSize    = flag.String("tiers", "", `generate a Tiers-like platform: "small" or "big"`)
+		seed         = flag.Int64("seed", 1, "random seed (with -tiers)")
+		density      = flag.Float64("density", 0.4, "target density over LAN hosts (with -tiers)")
+		exact        = flag.Bool("exact", false, "also compute the exact optimum (exponential; small instances only)")
+		dotFile      = flag.String("dot", "", "write the platform as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	g, source, targets, err := load(*platformFile, *sourceName, *targetNames, *tiersSize, *seed, *density)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := steady.NewProblem(g, source, targets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(g.DOT("platform", targets)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("platform: %d nodes, %d edges, %d targets\n", g.NumActive(), len(g.ActiveEdges()), len(targets))
+
+	ub, err := steady.ScatterUB(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := steady.MulticastLB(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc, err := steady.BroadcastEB(g, source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s period %10.4f  throughput %.6f\n", "scatter (Multicast-UB)", ub.Period, ub.Throughput())
+	fmt.Printf("%-22s period %10.4f  throughput %.6f\n", "bound (Multicast-LB)", lb.Period, lb.Throughput())
+	fmt.Printf("%-22s period %10.4f  throughput %.6f\n", "broadcast (EB)", bc.Period, bc.Throughput())
+
+	for _, h := range heur.All() {
+		res, err := h.Run(p)
+		if err != nil {
+			log.Fatalf("%s: %v", h.Name, err)
+		}
+		extra := ""
+		switch {
+		case res.Tree != nil:
+			extra = fmt.Sprintf("  (tree with %d edges)", len(res.Tree.Edges))
+		case len(res.Sources) > 0:
+			var names []string
+			for _, s := range res.Sources {
+				names = append(names, g.Name(s))
+			}
+			extra = "  (sources: " + strings.Join(names, ", ") + ")"
+		case res.Kept != nil:
+			extra = fmt.Sprintf("  (%d nodes kept)", len(res.Kept))
+		}
+		fmt.Printf("%-22s period %10.4f  throughput %.6f%s\n", h.Name, res.Period, res.Throughput(), extra)
+	}
+
+	if *exact {
+		pk, err := tree.PackOptimal(g, source, targets)
+		if err != nil {
+			log.Fatalf("exact: %v", err)
+		}
+		fmt.Printf("%-22s period %10.4f  throughput %.6f  (%d trees)\n",
+			"exact (tree packing)", pk.Period(), pk.Throughput, len(pk.Trees))
+	}
+}
+
+func load(file, sourceName, targetNames, tiersSize string, seed int64, density float64) (*graph.Graph, graph.NodeID, []graph.NodeID, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		defer f.Close()
+		g, err := graph.Decode(f)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		source, ok := g.NodeByName(sourceName)
+		if !ok {
+			return nil, 0, nil, fmt.Errorf("unknown source node %q", sourceName)
+		}
+		if targetNames == "" {
+			return nil, 0, nil, fmt.Errorf("-targets required with -platform")
+		}
+		var targets []graph.NodeID
+		for _, name := range strings.Split(targetNames, ",") {
+			t, ok := g.NodeByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, 0, nil, fmt.Errorf("unknown target node %q", name)
+			}
+			targets = append(targets, t)
+		}
+		return g, source, targets, nil
+	case tiersSize != "":
+		var cfg tiers.Config
+		switch tiersSize {
+		case "small":
+			cfg = tiers.Small(seed)
+		case "big":
+			cfg = tiers.Big(seed)
+		default:
+			return nil, 0, nil, fmt.Errorf("unknown tiers size %q", tiersSize)
+		}
+		pl, err := tiers.Generate(cfg)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		return pl.G, pl.Source, pl.RandomTargets(rng, density), nil
+	default:
+		return nil, 0, nil, fmt.Errorf("need -platform or -tiers (see -help)")
+	}
+}

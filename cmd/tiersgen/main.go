@@ -1,0 +1,55 @@
+// Command tiersgen generates Tiers-like hierarchical platforms (the
+// topology model of the paper's simulation study) and prints them in
+// the graph text format or as Graphviz DOT.
+//
+// Usage:
+//
+//	tiersgen -size small -seed 7            # text format on stdout
+//	tiersgen -size big -seed 3 -format dot  # DOT with LAN hosts shaded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/tiers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tiersgen: ")
+	var (
+		size   = flag.String("size", "small", `platform preset: "small" (30 nodes) or "big" (65 nodes)`)
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "text", `output format: "text" or "dot"`)
+	)
+	flag.Parse()
+
+	var cfg tiers.Config
+	switch *size {
+	case "small":
+		cfg = tiers.Small(*seed)
+	case "big":
+		cfg = tiers.Big(*seed)
+	default:
+		log.Fatalf("unknown size %q", *size)
+	}
+	p, err := tiers.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *format {
+	case "text":
+		fmt.Printf("# tiers %s seed=%d: %d nodes (%d WAN, %d MAN, %d LAN), source %s\n",
+			*size, *seed, p.G.NumNodes(), len(p.WAN), len(p.MAN), len(p.LAN), p.G.Name(p.Source))
+		if err := p.G.Encode(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "dot":
+		fmt.Print(p.G.DOT(fmt.Sprintf("tiers_%s_%d", *size, *seed), p.LAN))
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro reproduces "Complexity results and heuristics for
+// pipelined multicast operations on heterogeneous platforms" (Beaumont,
+// Legrand, Marchal, Robert — INRIA RR-5123 / ICPP 2004): steady-state
+// throughput optimisation for a series of multicasts on an
+// edge-weighted platform digraph under the bidirectional one-port
+// model.
+//
+// This root package is a thin façade over the implementation packages:
+//
+//	internal/graph     platform model (digraph, activity masks, paths)
+//	internal/lp        two-phase primal simplex (built from scratch)
+//	internal/flow      max-flow / min-cut / flow decomposition
+//	internal/steady    the paper's LP bounds (Multicast-UB/LB,
+//	                   Broadcast-EB, MulticastMultiSource-UB)
+//	internal/heur      the four heuristics (MCPH, Augmented Multicast,
+//	                   Reduced Broadcast, Augmented Sources)
+//	internal/tree      multicast trees and the exact optimum
+//	                   (tree-packing LP by column generation)
+//	internal/sched     periodic one-port timetables (König colouring)
+//	internal/sim       discrete-event one-port simulator
+//	internal/tiers     Tiers-like random topology generator
+//	internal/setcover  MINIMUM-SET-COVER and the Theorem 1 reduction
+//	internal/prefix    pipelined parallel prefix and the Theorem 5
+//	                   reduction
+//	internal/exp       the Figure 11 experiment harness
+//
+// See README.md for a tour, DESIGN.md for the architecture and the
+// paper-to-code mapping, and EXPERIMENTS.md for reproduced results.
+// The benchmarks in bench_test.go regenerate every figure and table of
+// the paper's evaluation.
+package repro

@@ -1,0 +1,273 @@
+// Package color implements weighted bipartite edge colouring: packing a
+// set of sender-receiver loads into conflict-free time intervals whose
+// total span equals the maximum port load.
+//
+// This is the orchestration theorem the paper leans on in the
+// NP-membership proofs of Theorems 1, 3 and 5 ("there is a nice theorem
+// from graph theory that states that all the communications occurring
+// in the K multicast trees can safely be scheduled within T
+// time-units"): build the bipartite graph of send-ports versus
+// receive-ports, then decompose the load matrix into matchings — a
+// Birkhoff/von-Neumann decomposition after padding the matrix to
+// doubly-T form. Each matching becomes a time slot during which every
+// port handles at most one communication.
+package color
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// eps is the load tolerance of the decomposition.
+const eps = 1e-9
+
+// Demand is an amount of communication time from a sender port to a
+// receiver port. Sender and receiver live in separate index spaces (the
+// two sides of the bipartite graph); a platform node contributes its
+// send port on one side and its receive port on the other.
+type Demand struct {
+	Sender   int
+	Receiver int
+	Load     float64
+}
+
+// Interval is a scheduled chunk of a demand.
+type Interval struct {
+	Sender   int
+	Receiver int
+	Start    float64
+	Length   float64
+}
+
+// Makespan returns the maximum total load over all sender and receiver
+// ports — the optimal schedule length by König's theorem.
+func Makespan(demands []Demand) float64 {
+	send := map[int]float64{}
+	recv := map[int]float64{}
+	best := 0.0
+	for _, d := range demands {
+		send[d.Sender] += d.Load
+		recv[d.Receiver] += d.Load
+		best = math.Max(best, math.Max(send[d.Sender], recv[d.Receiver]))
+	}
+	return best
+}
+
+// Schedule packs the demands into time intervals such that no sender
+// and no receiver handles two overlapping intervals, finishing within
+// Makespan(demands). Demands may be preempted (split across intervals),
+// as in the preemptive open-shop schedules underlying the paper's
+// certificate argument. The per-pair interval lengths sum exactly to
+// the pair's demanded load.
+func Schedule(demands []Demand) ([]Interval, float64, error) {
+	// Aggregate per (sender, receiver) pair and index the ports.
+	sIdx := map[int]int{}
+	rIdx := map[int]int{}
+	var sIDs, rIDs []int
+	for _, d := range demands {
+		if d.Load < -eps {
+			return nil, 0, fmt.Errorf("color: negative load %v", d.Load)
+		}
+		if _, ok := sIdx[d.Sender]; !ok {
+			sIdx[d.Sender] = len(sIDs)
+			sIDs = append(sIDs, d.Sender)
+		}
+		if _, ok := rIdx[d.Receiver]; !ok {
+			rIdx[d.Receiver] = len(rIDs)
+			rIDs = append(rIDs, d.Receiver)
+		}
+	}
+	n := len(sIDs)
+	if len(rIDs) > n {
+		n = len(rIDs)
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	work := make([][]float64, n) // genuine communication time
+	pad := make([][]float64, n)  // idle padding
+	for i := range work {
+		work[i] = make([]float64, n)
+		pad[i] = make([]float64, n)
+	}
+	for _, d := range demands {
+		if d.Load > eps {
+			work[sIdx[d.Sender]][rIdx[d.Receiver]] += d.Load
+		}
+	}
+	rowSum := make([]float64, n)
+	colSum := make([]float64, n)
+	T := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rowSum[i] += work[i][j]
+			colSum[j] += work[i][j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		T = math.Max(T, math.Max(rowSum[i], colSum[i]))
+	}
+	if T <= eps {
+		return nil, 0, nil
+	}
+	// Pad to a doubly-T matrix: every row and column sums to T.
+	for i, j := 0, 0; i < n && j < n; {
+		needRow := T - rowSum[i]
+		needCol := T - colSum[j]
+		if needRow <= eps {
+			i++
+			continue
+		}
+		if needCol <= eps {
+			j++
+			continue
+		}
+		f := math.Min(needRow, needCol)
+		pad[i][j] += f
+		rowSum[i] += f
+		colSum[j] += f
+	}
+
+	remaining := func(i, j int) float64 { return work[i][j] + pad[i][j] }
+	var out []Interval
+	now := 0.0
+	guard := 2*n*n + 2*len(demands) + 16
+	for now < T-eps {
+		if guard--; guard < 0 {
+			return nil, 0, errors.New("color: decomposition did not converge")
+		}
+		match, err := perfectMatching(n, remaining)
+		if err != nil {
+			return nil, 0, err
+		}
+		delta := T - now
+		for i, j := range match {
+			delta = math.Min(delta, remaining(i, j))
+		}
+		if delta <= eps {
+			return nil, 0, errors.New("color: degenerate matching step")
+		}
+		for i, j := range match {
+			// Attribute work communication first; padding absorbs the rest.
+			r := math.Min(delta, work[i][j])
+			if r > eps {
+				out = append(out, Interval{
+					Sender:   sIDs[i],
+					Receiver: rIDs[j],
+					Start:    now,
+					Length:   r,
+				})
+			}
+			work[i][j] -= r
+			pad[i][j] -= delta - r
+			if work[i][j] < 0 {
+				work[i][j] = 0
+			}
+			if pad[i][j] < 0 {
+				pad[i][j] = 0
+			}
+		}
+		now += delta
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		if out[a].Sender != out[b].Sender {
+			return out[a].Sender < out[b].Sender
+		}
+		return out[a].Receiver < out[b].Receiver
+	})
+	return out, T, nil
+}
+
+// perfectMatching finds a perfect matching in the bipartite graph whose
+// (i, j) edge exists when remaining(i, j) > eps, using Kuhn's
+// augmenting-path algorithm. A doubly-T matrix always admits one
+// (Hall's condition / Birkhoff-von Neumann).
+func perfectMatching(n int, remaining func(i, j int) float64) (map[int]int, error) {
+	matchCol := make([]int, n) // column -> row
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+	var seen []bool
+	var try func(i int) bool
+	try = func(i int) bool {
+		for j := 0; j < n; j++ {
+			if seen[j] || remaining(i, j) <= eps {
+				continue
+			}
+			seen[j] = true
+			if matchCol[j] < 0 || try(matchCol[j]) {
+				matchCol[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		seen = make([]bool, n)
+		if !try(i) {
+			return nil, errors.New("color: no perfect matching (matrix not doubly stochastic)")
+		}
+	}
+	match := make(map[int]int, n)
+	for j, i := range matchCol {
+		match[i] = j
+	}
+	return match, nil
+}
+
+// Validate checks that the intervals are a correct schedule for the
+// demands: non-negative lengths, per-pair totals matching the demanded
+// loads (within tol), and no overlapping use of any sender or receiver.
+func Validate(demands []Demand, intervals []Interval, tol float64) error {
+	want := map[[2]int]float64{}
+	for _, d := range demands {
+		want[[2]int{d.Sender, d.Receiver}] += d.Load
+	}
+	got := map[[2]int]float64{}
+	for _, iv := range intervals {
+		if iv.Length < -tol {
+			return fmt.Errorf("color: negative interval %+v", iv)
+		}
+		got[[2]int{iv.Sender, iv.Receiver}] += iv.Length
+	}
+	for k, w := range want {
+		if math.Abs(got[k]-w) > tol {
+			return fmt.Errorf("color: pair %v scheduled %v, want %v", k, got[k], w)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok && got[k] > tol {
+			return fmt.Errorf("color: unrequested pair %v scheduled", k)
+		}
+	}
+	if err := checkExclusive(intervals, tol, func(iv Interval) (int, bool) { return iv.Sender, true }); err != nil {
+		return fmt.Errorf("color: sender conflict: %w", err)
+	}
+	if err := checkExclusive(intervals, tol, func(iv Interval) (int, bool) { return iv.Receiver, true }); err != nil {
+		return fmt.Errorf("color: receiver conflict: %w", err)
+	}
+	return nil
+}
+
+func checkExclusive(intervals []Interval, tol float64, port func(Interval) (int, bool)) error {
+	byPort := map[int][]Interval{}
+	for _, iv := range intervals {
+		if p, ok := port(iv); ok {
+			byPort[p] = append(byPort[p], iv)
+		}
+	}
+	for p, ivs := range byPort {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].Start+ivs[i-1].Length-tol {
+				return fmt.Errorf("port %d: %+v overlaps %+v", p, ivs[i-1], ivs[i])
+			}
+		}
+	}
+	return nil
+}

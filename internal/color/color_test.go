@@ -1,0 +1,150 @@
+package color
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakespan(t *testing.T) {
+	demands := []Demand{
+		{Sender: 0, Receiver: 10, Load: 1},
+		{Sender: 0, Receiver: 11, Load: 2}, // sender 0 loaded to 3
+		{Sender: 1, Receiver: 11, Load: 1}, // receiver 11 loaded to 3
+	}
+	if got := Makespan(demands); got != 3 {
+		t.Fatalf("makespan = %v, want 3", got)
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	ivs, T, err := Schedule(nil)
+	if err != nil || len(ivs) != 0 || T != 0 {
+		t.Fatalf("empty schedule: %v %v %v", ivs, T, err)
+	}
+}
+
+func TestScheduleSinglePair(t *testing.T) {
+	demands := []Demand{{Sender: 5, Receiver: 7, Load: 2.5}}
+	ivs, T, err := Schedule(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-2.5) > 1e-9 {
+		t.Fatalf("T = %v", T)
+	}
+	if err := Validate(demands, ivs, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleCrossPairs(t *testing.T) {
+	// Two senders, two receivers, crossing loads: the schedule must
+	// interleave the matchings; max port load is 3.
+	demands := []Demand{
+		{Sender: 0, Receiver: 0, Load: 2},
+		{Sender: 0, Receiver: 1, Load: 1},
+		{Sender: 1, Receiver: 0, Load: 1},
+		{Sender: 1, Receiver: 1, Load: 2},
+	}
+	ivs, T, err := Schedule(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-3) > 1e-9 {
+		t.Fatalf("T = %v, want 3", T)
+	}
+	if err := Validate(demands, ivs, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleUnbalancedSides(t *testing.T) {
+	// More receivers than senders: padding handles the rectangle.
+	demands := []Demand{
+		{Sender: 0, Receiver: 1, Load: 1},
+		{Sender: 0, Receiver: 2, Load: 1},
+		{Sender: 0, Receiver: 3, Load: 1},
+	}
+	ivs, T, err := Schedule(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(T-3) > 1e-9 {
+		t.Fatalf("T = %v, want 3", T)
+	}
+	if err := Validate(demands, ivs, 1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRejectsNegative(t *testing.T) {
+	if _, _, err := Schedule([]Demand{{0, 0, -1}}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+func TestValidateCatchesConflicts(t *testing.T) {
+	demands := []Demand{{0, 0, 2}, {0, 1, 2}}
+	bad := []Interval{
+		{Sender: 0, Receiver: 0, Start: 0, Length: 2},
+		{Sender: 0, Receiver: 1, Start: 1, Length: 2}, // overlaps on sender 0
+	}
+	if err := Validate(demands, bad, 1e-9); err == nil {
+		t.Fatal("overlap not caught")
+	}
+	short := []Interval{{Sender: 0, Receiver: 0, Start: 0, Length: 1}}
+	if err := Validate(demands, short, 1e-9); err == nil {
+		t.Fatal("missing load not caught")
+	}
+	extra := []Interval{
+		{Sender: 0, Receiver: 0, Start: 0, Length: 2},
+		{Sender: 0, Receiver: 1, Start: 2, Length: 2},
+		{Sender: 9, Receiver: 9, Start: 0, Length: 1},
+	}
+	if err := Validate(demands, extra, 1e-9); err == nil {
+		t.Fatal("unrequested pair not caught")
+	}
+}
+
+// Property: random demand sets always schedule within their makespan
+// and pass validation (König's theorem, constructively).
+func TestScheduleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ns := 1 + rng.Intn(6)
+		nr := 1 + rng.Intn(6)
+		var demands []Demand
+		for i := 0; i < 2+rng.Intn(12); i++ {
+			demands = append(demands, Demand{
+				Sender:   rng.Intn(ns),
+				Receiver: 100 + rng.Intn(nr),
+				Load:     0.1 + 3*rng.Float64(),
+			})
+		}
+		ivs, T, err := Schedule(demands)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if math.Abs(T-Makespan(demands)) > 1e-7 {
+			t.Logf("seed %d: T %v vs makespan %v", seed, T, Makespan(demands))
+			return false
+		}
+		for _, iv := range ivs {
+			if iv.Start < -1e-9 || iv.Start+iv.Length > T+1e-7 {
+				t.Logf("seed %d: interval escapes horizon: %+v", seed, iv)
+				return false
+			}
+		}
+		if err := Validate(demands, ivs, 1e-6); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package exp is the simulation harness behind the paper's Figure 11:
+// it sweeps multicast target density over randomly generated Tiers-like
+// platforms, runs the LP bounds and all heuristics, and aggregates the
+// period ratios that the paper plots — each heuristic's period against
+// the scatter upper bound (Figures 11a/11c) and against the theoretical
+// lower bound (Figures 11b/11d).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/heur"
+	"repro/internal/steady"
+	"repro/internal/tiers"
+)
+
+// Baseline and heuristic series names, matching the paper's legend.
+const (
+	SeriesScatter    = "scatter"
+	SeriesLowerBound = "lower bound"
+	SeriesBroadcast  = "broadcast"
+)
+
+// Config parameterises a sweep.
+type Config struct {
+	// Size selects the platform preset: "small" (30 nodes) or "big"
+	// (65 nodes).
+	Size string
+	// Platforms is the number of random platforms per density (the
+	// paper uses 10).
+	Platforms int
+	// Densities are the target densities over the LAN hosts; nil means
+	// DefaultDensities.
+	Densities []float64
+	// Seed drives platform generation and target selection.
+	Seed int64
+	// Heuristics to run; nil means heur.All().
+	Heuristics []heur.Heuristic
+	// Progress, when non-nil, receives one line per (platform,
+	// density) step.
+	Progress io.Writer
+}
+
+// DefaultDensities mirrors the paper's sweep: one single target, then
+// 20% to 100% of the LAN hosts.
+func DefaultDensities() []float64 {
+	return []float64{0.05, 0.2, 0.4, 0.6, 0.8, 1.0}
+}
+
+// Cell is one aggregated data point: a series at a density.
+type Cell struct {
+	Density   float64
+	Series    string
+	VsScatter float64 // mean period(series) / period(scatter)
+	VsLB      float64 // mean period(series) / period(lower bound)
+	Runs      int
+}
+
+// Run executes the sweep and returns one Cell per (density, series),
+// ordered by density then series name.
+func Run(cfg Config) ([]Cell, error) {
+	if cfg.Platforms <= 0 {
+		cfg.Platforms = 10
+	}
+	densities := cfg.Densities
+	if len(densities) == 0 {
+		densities = DefaultDensities()
+	}
+	heuristics := cfg.Heuristics
+	if heuristics == nil {
+		heuristics = heur.All()
+	}
+
+	type acc struct {
+		vsScatter, vsLB float64
+		runs            int
+	}
+	sums := map[[2]string]*acc{} // (density label, series)
+	densLabel := func(d float64) string { return fmt.Sprintf("%.4f", d) }
+	add := func(d float64, series string, period, scatter, lb float64) {
+		key := [2]string{densLabel(d), series}
+		a := sums[key]
+		if a == nil {
+			a = &acc{}
+			sums[key] = a
+		}
+		a.vsScatter += period / scatter
+		a.vsLB += period / lb
+		a.runs++
+	}
+
+	for pi := 0; pi < cfg.Platforms; pi++ {
+		platform, err := generate(cfg.Size, cfg.Seed+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(pi)))
+		for _, d := range densities {
+			targets := platform.RandomTargets(rng, d)
+			p, err := steady.NewProblem(platform.G, platform.Source, targets)
+			if err != nil {
+				return nil, err
+			}
+			scatter, err := steady.ScatterUB(p)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := steady.MulticastLB(p)
+			if err != nil {
+				return nil, err
+			}
+			bc, err := steady.BroadcastEB(platform.G, platform.Source)
+			if err != nil {
+				return nil, err
+			}
+			if scatter.Infeasible() || lb.Infeasible() || bc.Infeasible() {
+				return nil, fmt.Errorf("exp: generated platform disconnected (seed %d)", cfg.Seed+int64(pi))
+			}
+			add(d, SeriesScatter, scatter.Period, scatter.Period, lb.Period)
+			add(d, SeriesLowerBound, lb.Period, scatter.Period, lb.Period)
+			add(d, SeriesBroadcast, bc.Period, scatter.Period, lb.Period)
+			for _, h := range heuristics {
+				res, err := h.Run(p)
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s: %w", h.Name, err)
+				}
+				if math.IsInf(res.Period, 1) {
+					return nil, fmt.Errorf("exp: %s returned an infinite period", h.Name)
+				}
+				add(d, h.Name, res.Period, scatter.Period, lb.Period)
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "platform %d density %.2f: |T|=%d scatter=%.1f lb=%.1f\n",
+					pi, d, len(targets), scatter.Period, lb.Period)
+			}
+		}
+	}
+
+	var cells []Cell
+	for _, d := range densities {
+		for key, a := range sums {
+			if key[0] != densLabel(d) {
+				continue
+			}
+			cells = append(cells, Cell{
+				Density:   d,
+				Series:    key[1],
+				VsScatter: a.vsScatter / float64(a.runs),
+				VsLB:      a.vsLB / float64(a.runs),
+				Runs:      a.runs,
+			})
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Density != cells[j].Density {
+			return cells[i].Density < cells[j].Density
+		}
+		return cells[i].Series < cells[j].Series
+	})
+	return cells, nil
+}
+
+func generate(size string, seed int64) (*tiers.Platform, error) {
+	switch size {
+	case "", "small":
+		return tiers.Generate(tiers.Small(seed))
+	case "big":
+		return tiers.Generate(tiers.Big(seed))
+	default:
+		return nil, fmt.Errorf("exp: unknown platform size %q", size)
+	}
+}
+
+// Table renders the cells as a fixed-width table of the chosen ratio
+// ("scatter" or "lb"), one row per density, one column per series —
+// the textual form of one Figure 11 panel.
+func Table(cells []Cell, baseline string) string {
+	var seriesNames []string
+	seen := map[string]bool{}
+	var densities []float64
+	seenD := map[float64]bool{}
+	for _, c := range cells {
+		if !seen[c.Series] {
+			seen[c.Series] = true
+			seriesNames = append(seriesNames, c.Series)
+		}
+		if !seenD[c.Density] {
+			seenD[c.Density] = true
+			densities = append(densities, c.Density)
+		}
+	}
+	sort.Strings(seriesNames)
+	sort.Float64s(densities)
+	value := func(d float64, s string) (float64, bool) {
+		for _, c := range cells {
+			if c.Density == d && c.Series == s {
+				if baseline == "lb" {
+					return c.VsLB, true
+				}
+				return c.VsScatter, true
+			}
+		}
+		return 0, false
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s", "density")
+	for _, s := range seriesNames {
+		fmt.Fprintf(&sb, " %15s", s)
+	}
+	sb.WriteByte('\n')
+	for _, d := range densities {
+		fmt.Fprintf(&sb, "%-9.3f", d)
+		for _, s := range seriesNames {
+			if v, ok := value(d, s); ok {
+				fmt.Fprintf(&sb, " %15.3f", v)
+			} else {
+				fmt.Fprintf(&sb, " %15s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmallSweep is a miniature Figure 11 run: one small platform,
+// two densities. It checks the structural invariants the paper's plots
+// rely on: heuristics sit between the lower bound and the scatter
+// bound, and every requested cell is filled.
+func TestRunSmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full heuristic sweep is slow")
+	}
+	cfg := Config{
+		Size:      "small",
+		Platforms: 1,
+		Densities: []float64{0.1, 0.6},
+		Seed:      3,
+	}
+	cells, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := 3 + 4 // baselines + heuristics
+	if len(cells) != 2*wantSeries {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*wantSeries)
+	}
+	for _, c := range cells {
+		if c.Runs != 1 {
+			t.Errorf("%s@%v: runs = %d", c.Series, c.Density, c.Runs)
+		}
+		if c.VsLB < 1-1e-6 {
+			t.Errorf("%s@%v: ratio to LB %v < 1", c.Series, c.Density, c.VsLB)
+		}
+		if c.Series == SeriesScatter && (c.VsScatter < 1-1e-9 || c.VsScatter > 1+1e-9) {
+			t.Errorf("scatter self-ratio = %v", c.VsScatter)
+		}
+		// Multisource MC starts from the scatter solution and only
+		// accepts improvements, so it can never lose to scatter. (The
+		// broadcast-based heuristics can, at very low density — the
+		// paper's Figure 11a shows the same effect for plain broadcast.)
+		if c.Series == "Multisource MC" && c.VsScatter > 1+1e-6 {
+			t.Errorf("%s@%v: worse than scatter: %v", c.Series, c.Density, c.VsScatter)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSize(t *testing.T) {
+	if _, err := Run(Config{Size: "galactic", Platforms: 1, Densities: []float64{0.5}}); err == nil {
+		t.Fatal("unknown size accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	cells := []Cell{
+		{Density: 0.2, Series: "MCPH", VsScatter: 0.5, VsLB: 1.2, Runs: 10},
+		{Density: 0.2, Series: "scatter", VsScatter: 1, VsLB: 2.4, Runs: 10},
+	}
+	out := Table(cells, "scatter")
+	if !strings.Contains(out, "MCPH") || !strings.Contains(out, "0.500") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	out = Table(cells, "lb")
+	if !strings.Contains(out, "1.200") {
+		t.Fatalf("bad lb table:\n%s", out)
+	}
+}
+
+func TestDefaultDensities(t *testing.T) {
+	d := DefaultDensities()
+	if len(d) != 6 || d[len(d)-1] != 1.0 {
+		t.Fatalf("densities = %v", d)
+	}
+}

@@ -1,0 +1,309 @@
+// Package flow implements maximum flows, minimum cuts and flow
+// decomposition over platform graphs.
+//
+// The cutting-plane solver for the paper's Multicast-LB program
+// (internal/steady) separates violated constraints with min-cut
+// computations, recovers the per-target flow variables x^i of the
+// original exponential LP with bounded max-flows, and splits the
+// aggregate flow of the Multicast-UB program into per-target unit flows
+// by path peeling.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// eps is the capacity tolerance below which arcs are treated as
+// saturated.
+const eps = 1e-12
+
+// network is a residual arc representation of the active part of a
+// platform graph.
+type network struct {
+	n     int
+	head  [][]int // node -> arc indices
+	to    []graph.NodeID
+	cap   []float64
+	edge  []int // platform edge ID for forward arcs, -1 for residuals
+	level []int
+	iter  []int
+}
+
+func build(g *graph.Graph, capacity []float64) *network {
+	nw := &network{n: g.NumNodes()}
+	nw.head = make([][]int, nw.n)
+	for _, id := range g.ActiveEdges() {
+		c := capacity[id]
+		if c <= eps {
+			continue
+		}
+		e := g.Edge(id)
+		nw.addArc(e.From, e.To, c, id)
+	}
+	return nw
+}
+
+func (nw *network) addArc(from, to graph.NodeID, c float64, edgeID int) {
+	nw.head[from] = append(nw.head[from], len(nw.to))
+	nw.to = append(nw.to, to)
+	nw.cap = append(nw.cap, c)
+	nw.edge = append(nw.edge, edgeID)
+	nw.head[to] = append(nw.head[to], len(nw.to))
+	nw.to = append(nw.to, from)
+	nw.cap = append(nw.cap, 0)
+	nw.edge = append(nw.edge, -1)
+}
+
+func (nw *network) bfs(s, t graph.NodeID) bool {
+	nw.level = make([]int, nw.n)
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	queue := []graph.NodeID{s}
+	nw.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range nw.head[v] {
+			if nw.cap[a] > eps && nw.level[nw.to[a]] < 0 {
+				nw.level[nw.to[a]] = nw.level[v] + 1
+				queue = append(queue, nw.to[a])
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+func (nw *network) dfs(v, t graph.NodeID, f float64) float64 {
+	if v == t {
+		return f
+	}
+	for ; nw.iter[v] < len(nw.head[v]); nw.iter[v]++ {
+		a := nw.head[v][nw.iter[v]]
+		w := nw.to[a]
+		if nw.cap[a] <= eps || nw.level[w] != nw.level[v]+1 {
+			continue
+		}
+		d := nw.dfs(w, t, math.Min(f, nw.cap[a]))
+		if d > eps {
+			nw.cap[a] -= d
+			nw.cap[a^1] += d
+			return d
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes a maximum s->t flow over the active edges of g with
+// per-edge capacities cap (indexed by edge ID). It returns the flow
+// value and the per-edge flow.
+func MaxFlow(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []float64) {
+	return MaxFlowUpTo(g, capacity, s, t, math.Inf(1))
+}
+
+// MaxFlowUpTo is MaxFlow with an early stop: augmentation halts once the
+// flow value reaches limit, and the final augmenting path is trimmed so
+// the value never exceeds it. The paper's per-target variables x^i are
+// unit flows, recovered with limit = 1.
+func MaxFlowUpTo(g *graph.Graph, capacity []float64, s, t graph.NodeID, limit float64) (float64, []float64) {
+	perEdge := make([]float64, g.NumEdges())
+	if s == t || limit <= 0 || !g.Active(s) || !g.Active(t) {
+		return 0, perEdge
+	}
+	nw := build(g, capacity)
+	value := 0.0
+	for value < limit-eps && nw.bfs(s, t) {
+		nw.iter = make([]int, nw.n)
+		for value < limit-eps {
+			d := nw.dfs(s, t, limit-value)
+			if d <= eps {
+				break
+			}
+			value += d
+		}
+	}
+	for _, arcs := range nw.head {
+		for _, a := range arcs {
+			if nw.edge[a] >= 0 {
+				id := nw.edge[a]
+				f := capacity[id] - nw.cap[a]
+				if f > eps {
+					perEdge[id] += f
+				}
+			}
+		}
+	}
+	return value, perEdge
+}
+
+// MinCut computes a minimum s->t cut. It returns the cut value, the
+// source side of the cut as a node mask, and the IDs of the active
+// edges crossing the cut (source side -> sink side).
+func MinCut(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []bool, []int) {
+	value, _ := MaxFlow(g, capacity, s, t)
+	// Residual reachability from s marks the source side. Rebuild and
+	// re-run: MaxFlow discards the residual network, so recompute it.
+	nw := build(g, capacity)
+	flowed := math.Inf(1)
+	for flowed > eps {
+		if !nw.bfs(s, t) {
+			break
+		}
+		nw.iter = make([]int, nw.n)
+		flowed = 0
+		for {
+			d := nw.dfs(s, t, math.Inf(1))
+			if d <= eps {
+				break
+			}
+			flowed += d
+		}
+	}
+	side := make([]bool, g.NumNodes())
+	stack := []graph.NodeID{s}
+	side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range nw.head[v] {
+			if nw.cap[a] > eps && !side[nw.to[a]] {
+				side[nw.to[a]] = true
+				stack = append(stack, nw.to[a])
+			}
+		}
+	}
+	var cut []int
+	for _, id := range g.ActiveEdges() {
+		e := g.Edge(id)
+		if side[e.From] && !side[e.To] {
+			cut = append(cut, id)
+		}
+	}
+	return value, side, cut
+}
+
+// Decompose splits a flow f (per-edge values over the active part of g,
+// with all flow originating at source s) into one unit flow per sink:
+// demands[t] units must terminate at each sink t. Flow cycles are
+// cancelled. It returns per-sink per-edge flows and fails if the flow
+// cannot cover the demands.
+func Decompose(g *graph.Graph, f []float64, s graph.NodeID, demands map[graph.NodeID]float64) (map[graph.NodeID][]float64, error) {
+	const tol = 1e-6
+	res := make([]float64, len(f))
+	copy(res, f)
+	remaining := make(map[graph.NodeID]float64, len(demands))
+	total := 0.0
+	for t, d := range demands {
+		if d > eps {
+			remaining[t] = d
+			total += d
+		}
+	}
+	out := make(map[graph.NodeID][]float64, len(demands))
+	for t := range demands {
+		out[t] = make([]float64, len(f))
+	}
+
+	outArcs := make([][]int, g.NumNodes())
+	for _, id := range g.ActiveEdges() {
+		e := g.Edge(id)
+		outArcs[e.From] = append(outArcs[e.From], id)
+	}
+	nextArc := func(v graph.NodeID) int {
+		for _, id := range outArcs[v] {
+			if res[id] > tol {
+				return id
+			}
+		}
+		return -1
+	}
+
+	guard := 4*len(f)*len(f) + 64
+	for total > tol {
+		guard--
+		if guard < 0 {
+			return nil, fmt.Errorf("flow: decomposition did not converge (remaining %.3g)", total)
+		}
+		// Walk from s along positive arcs until reaching a sink with
+		// remaining demand or closing a cycle.
+		var path []int
+		pos := make(map[graph.NodeID]int) // node -> index in path where first visited
+		pos[s] = 0
+		v := s
+		for {
+			if d := remaining[v]; d > tol && v != s {
+				break
+			}
+			id := nextArc(v)
+			if id < 0 {
+				return nil, fmt.Errorf("flow: walk stuck at %s with %.3g demand left", g.Name(v), total)
+			}
+			w := g.Edge(id).To
+			if at, seen := pos[w]; seen {
+				// Cancel the cycle path[at:] + id.
+				cyc := append(append([]int(nil), path[at:]...), id)
+				m := math.Inf(1)
+				for _, c := range cyc {
+					m = math.Min(m, res[c])
+				}
+				for _, c := range cyc {
+					res[c] -= m
+				}
+				// Restart the walk from scratch.
+				path = nil
+				pos = map[graph.NodeID]int{s: 0}
+				v = s
+				continue
+			}
+			path = append(path, id)
+			pos[w] = len(path)
+			v = w
+		}
+		amount := remaining[v]
+		for _, id := range path {
+			amount = math.Min(amount, res[id])
+		}
+		if amount <= tol {
+			return nil, fmt.Errorf("flow: zero-amount path during decomposition")
+		}
+		sink := v
+		for _, id := range path {
+			res[id] -= amount
+			out[sink][id] += amount
+		}
+		remaining[sink] -= amount
+		total -= amount
+	}
+	return out, nil
+}
+
+// Conserves reports whether f is a valid flow on the active part of g
+// shipping value units from s to t: non-negative, conserved at interior
+// nodes, with net outflow value at s (within tol).
+func Conserves(g *graph.Graph, f []float64, s, t graph.NodeID, value, tol float64) bool {
+	div := make([]float64, g.NumNodes())
+	for _, id := range g.ActiveEdges() {
+		if f[id] < -tol {
+			return false
+		}
+		e := g.Edge(id)
+		div[e.From] += f[id]
+		div[e.To] -= f[id]
+	}
+	for _, v := range g.ActiveNodes() {
+		want := 0.0
+		switch v {
+		case s:
+			want = value
+		case t:
+			want = -value
+		}
+		if math.Abs(div[v]-want) > tol {
+			return false
+		}
+	}
+	return true
+}

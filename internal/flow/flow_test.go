@@ -1,0 +1,261 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// classic builds the textbook 6-node max-flow instance with value 23.
+func classic(t *testing.T) (*graph.Graph, []float64, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	sink := g.AddNode("t")
+	caps := map[int]float64{}
+	add := func(from, to graph.NodeID, c float64) {
+		caps[g.AddEdge(from, to, 1)] = c
+	}
+	add(s, a, 16)
+	add(s, b, 13)
+	add(a, b, 10)
+	add(b, a, 4)
+	add(a, c, 12)
+	add(c, b, 9)
+	add(b, d, 14)
+	add(d, c, 7)
+	add(c, sink, 20)
+	add(d, sink, 4)
+	capacity := make([]float64, g.NumEdges())
+	for id, c := range caps {
+		capacity[id] = c
+	}
+	return g, capacity, s, sink
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	g, capacity, s, sink := classic(t)
+	value, f := MaxFlow(g, capacity, s, sink)
+	if math.Abs(value-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", value)
+	}
+	if !Conserves(g, f, s, sink, value, 1e-9) {
+		t.Fatal("flow does not conserve")
+	}
+	for id, v := range f {
+		if v > capacity[id]+1e-9 {
+			t.Fatalf("edge %d overloaded: %v > %v", id, v, capacity[id])
+		}
+	}
+}
+
+func TestMaxFlowUpTo(t *testing.T) {
+	g, capacity, s, sink := classic(t)
+	value, f := MaxFlowUpTo(g, capacity, s, sink, 5)
+	if math.Abs(value-5) > 1e-9 {
+		t.Fatalf("bounded flow = %v, want 5", value)
+	}
+	if !Conserves(g, f, s, sink, 5, 1e-9) {
+		t.Fatal("bounded flow does not conserve")
+	}
+}
+
+func TestMaxFlowTrivialCases(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	id := g.AddEdge(a, b, 1)
+	capacity := []float64{3}
+	if v, _ := MaxFlow(g, capacity, a, a); v != 0 {
+		t.Errorf("s == t flow = %v", v)
+	}
+	if v, _ := MaxFlow(g, capacity, b, a); v != 0 {
+		t.Errorf("reverse flow = %v", v)
+	}
+	g.Deactivate(b)
+	if v, _ := MaxFlow(g, capacity, a, b); v != 0 {
+		t.Errorf("flow to inactive = %v", v)
+	}
+	_ = id
+}
+
+func TestMinCutClassic(t *testing.T) {
+	g, capacity, s, sink := classic(t)
+	value, side, cut := MinCut(g, capacity, s, sink)
+	if math.Abs(value-23) > 1e-9 {
+		t.Fatalf("cut value = %v, want 23", value)
+	}
+	if !side[s] || side[sink] {
+		t.Fatal("cut sides wrong")
+	}
+	sum := 0.0
+	for _, id := range cut {
+		sum += capacity[id]
+	}
+	if math.Abs(sum-23) > 1e-9 {
+		t.Fatalf("cut capacity = %v, want 23", sum)
+	}
+}
+
+func TestDecomposeTwoSinks(t *testing.T) {
+	// s sends 1 unit to each of t1, t2 via a shared relay.
+	g := graph.New()
+	s := g.AddNode("s")
+	r := g.AddNode("r")
+	t1 := g.AddNode("t1")
+	t2 := g.AddNode("t2")
+	eSR := g.AddEdge(s, r, 1)
+	eRT1 := g.AddEdge(r, t1, 1)
+	eRT2 := g.AddEdge(r, t2, 1)
+	f := make([]float64, g.NumEdges())
+	f[eSR] = 2
+	f[eRT1] = 1
+	f[eRT2] = 1
+	per, err := Decompose(g, f, s, map[graph.NodeID]float64{t1: 1, t2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Conserves(g, per[t1], s, t1, 1, 1e-9) || !Conserves(g, per[t2], s, t2, 1, 1e-9) {
+		t.Fatal("per-sink flows invalid")
+	}
+	if math.Abs(per[t1][eSR]-1) > 1e-9 || math.Abs(per[t2][eSR]-1) > 1e-9 {
+		t.Fatalf("shared edge split wrong: %v / %v", per[t1][eSR], per[t2][eSR])
+	}
+}
+
+func TestDecomposeThroughSink(t *testing.T) {
+	// t1 is both a sink and a relay towards t2.
+	g := graph.New()
+	s := g.AddNode("s")
+	t1 := g.AddNode("t1")
+	t2 := g.AddNode("t2")
+	e1 := g.AddEdge(s, t1, 1)
+	e2 := g.AddEdge(t1, t2, 1)
+	f := make([]float64, g.NumEdges())
+	f[e1] = 2
+	f[e2] = 1
+	per, err := Decompose(g, f, s, map[graph.NodeID]float64{t1: 1, t2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(per[t2][e2]-1) > 1e-9 {
+		t.Fatalf("t2 flow on e2 = %v", per[t2][e2])
+	}
+}
+
+func TestDecomposeCancelsCycle(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	tk := g.AddNode("t")
+	eSA := g.AddEdge(s, a, 1)
+	eAB := g.AddEdge(a, b, 1)
+	eBA := g.AddEdge(b, a, 1)
+	eAT := g.AddEdge(a, tk, 1)
+	f := make([]float64, g.NumEdges())
+	f[eSA] = 1
+	f[eAB] = 0.5 // useless circulation a->b->a
+	f[eBA] = 0.5
+	f[eAT] = 1
+	per, err := Decompose(g, f, s, map[graph.NodeID]float64{tk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[tk][eAB] > 1e-9 || per[tk][eBA] > 1e-9 {
+		t.Fatalf("cycle flow leaked into decomposition: %v", per[tk])
+	}
+}
+
+func TestDecomposeInsufficient(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("s")
+	tk := g.AddNode("t")
+	e := g.AddEdge(s, tk, 1)
+	f := make([]float64, g.NumEdges())
+	f[e] = 0.5
+	if _, err := Decompose(g, f, s, map[graph.NodeID]float64{tk: 1}); err == nil {
+		t.Fatal("expected decomposition failure")
+	}
+}
+
+func randomNetwork(rng *rand.Rand) (*graph.Graph, []float64, graph.NodeID, graph.NodeID) {
+	g := graph.New()
+	n := 3 + rng.Intn(8)
+	ids := g.AddNodes("n", n)
+	var capacity []float64
+	for i := 0; i < 3*n; i++ {
+		a := ids[rng.Intn(n)]
+		b := ids[rng.Intn(n)]
+		if a == b {
+			continue
+		}
+		g.AddEdge(a, b, 1)
+		capacity = append(capacity, float64(1+rng.Intn(10)))
+	}
+	return g, capacity, ids[0], ids[n-1]
+}
+
+// Property: max-flow value equals min-cut value, the flow respects
+// capacities and conservation.
+func TestMaxFlowMinCutProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, capacity, s, sink := randomNetwork(rng)
+		value, fl := MaxFlow(g, capacity, s, sink)
+		if !Conserves(g, fl, s, sink, value, 1e-7) {
+			return false
+		}
+		for _, id := range g.ActiveEdges() {
+			if fl[id] > capacity[id]+1e-7 {
+				return false
+			}
+		}
+		cutVal, side, cut := MinCut(g, capacity, s, sink)
+		if math.Abs(cutVal-value) > 1e-7 {
+			return false
+		}
+		sum := 0.0
+		for _, id := range cut {
+			sum += capacity[id]
+		}
+		if math.Abs(sum-value) > 1e-7 {
+			return false
+		}
+		return side[s] && (value == 0 || !side[sink])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a max flow with integer value decomposes exactly into unit
+// flows per sink when demands sum to the value.
+func TestDecomposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, capacity, s, sink := randomNetwork(rng)
+		value, fl := MaxFlow(g, capacity, s, sink)
+		if value < 1 {
+			return true
+		}
+		want := math.Floor(value)
+		value, fl = MaxFlowUpTo(g, capacity, s, sink, want)
+		per, err := Decompose(g, fl, s, map[graph.NodeID]float64{sink: want})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return Conserves(g, per[sink], s, sink, want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package graph implements the platform model of Beaumont, Legrand,
+// Marchal and Robert (RR-5123): an edge-weighted digraph G = (V, E, c)
+// whose edge weights c(j,k) give the time needed to send one unit-size
+// message from node j to node k under the bidirectional one-port model.
+//
+// Nodes carry stable integer identifiers. Heuristics such as REDUCED
+// BROADCAST repeatedly remove nodes from the platform; to keep every
+// identifier valid across such restrictions the graph carries an
+// activity mask instead of physically deleting nodes: Deactivate hides a
+// node and all its incident edges from every query and algorithm.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node of a Graph. IDs are dense, start at 0, and
+// remain stable when nodes are deactivated.
+type NodeID int
+
+// None is the NodeID used to mean "no node" (for example the parent of a
+// tree root).
+const None NodeID = -1
+
+// Edge is a directed communication link. Cost is the time needed to
+// transfer one unit-size message across the link.
+type Edge struct {
+	ID   int
+	From NodeID
+	To   NodeID
+	Cost float64
+}
+
+// Graph is a directed platform graph with stable node IDs and an
+// activity mask. The zero value is an empty graph ready to use.
+type Graph struct {
+	names    []string
+	inactive []bool
+	edges    []Edge
+	out      [][]int // node -> edge IDs leaving it
+	in       [][]int // node -> edge IDs entering it
+	byName   map[string]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node with the given name and returns its ID. Names must
+// be unique and non-empty.
+func (g *Graph) AddNode(name string) NodeID {
+	if name == "" {
+		panic("graph: empty node name")
+	}
+	if g.byName == nil {
+		g.byName = make(map[string]NodeID)
+	}
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("graph: duplicate node name %q", name))
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.inactive = append(g.inactive, false)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byName[name] = id
+	return id
+}
+
+// AddNodes adds n nodes named prefix0..prefix(n-1) and returns their IDs.
+func (g *Graph) AddNodes(prefix string, n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ids
+}
+
+// AddEdge adds a directed edge and returns its ID. Cost must be positive
+// and finite (the paper encodes "no link" as c = +inf; here absent edges
+// are simply not added).
+func (g *Graph) AddEdge(from, to NodeID, cost float64) int {
+	g.checkNode(from)
+	g.checkNode(to)
+	if from == to {
+		panic("graph: self-loop")
+	}
+	if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+		panic(fmt.Sprintf("graph: invalid edge cost %v", cost))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Cost: cost})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	return id
+}
+
+// AddLink adds the pair of directed edges from<->to, both with the given
+// cost, and returns their IDs. Platform generators use it for full-duplex
+// physical links.
+func (g *Graph) AddLink(a, b NodeID, cost float64) (ab, ba int) {
+	return g.AddEdge(a, b, cost), g.AddEdge(b, a, cost)
+}
+
+func (g *Graph) checkNode(v NodeID) {
+	if v < 0 || int(v) >= len(g.names) {
+		panic(fmt.Sprintf("graph: node %d out of range", v))
+	}
+}
+
+// NumNodes returns the total number of nodes, active or not.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the total number of edges, including edges hidden by
+// deactivated endpoints.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Name returns the name of node v.
+func (g *Graph) Name(v NodeID) string { g.checkNode(v); return g.names[v] }
+
+// NodeByName returns the node with the given name.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge {
+	if id < 0 || id >= len(g.edges) {
+		panic(fmt.Sprintf("graph: edge %d out of range", id))
+	}
+	return g.edges[id]
+}
+
+// Active reports whether node v is active.
+func (g *Graph) Active(v NodeID) bool { g.checkNode(v); return !g.inactive[v] }
+
+// EdgeActive reports whether both endpoints of edge id are active.
+func (g *Graph) EdgeActive(id int) bool {
+	e := g.Edge(id)
+	return !g.inactive[e.From] && !g.inactive[e.To]
+}
+
+// Deactivate hides node v and all its incident edges.
+func (g *Graph) Deactivate(v NodeID) { g.checkNode(v); g.inactive[v] = true }
+
+// Activate re-enables node v.
+func (g *Graph) Activate(v NodeID) { g.checkNode(v); g.inactive[v] = false }
+
+// Restrict activates exactly the given node set and deactivates all
+// others.
+func (g *Graph) Restrict(keep []NodeID) {
+	for v := range g.inactive {
+		g.inactive[v] = true
+	}
+	for _, v := range keep {
+		g.checkNode(v)
+		g.inactive[v] = false
+	}
+}
+
+// ActivateAll re-enables every node.
+func (g *Graph) ActivateAll() {
+	for v := range g.inactive {
+		g.inactive[v] = false
+	}
+}
+
+// ActiveNodes returns the IDs of all active nodes in increasing order.
+func (g *Graph) ActiveNodes() []NodeID {
+	var ids []NodeID
+	for v := range g.names {
+		if !g.inactive[v] {
+			ids = append(ids, NodeID(v))
+		}
+	}
+	return ids
+}
+
+// NumActive returns the number of active nodes.
+func (g *Graph) NumActive() int {
+	n := 0
+	for _, off := range g.inactive {
+		if !off {
+			n++
+		}
+	}
+	return n
+}
+
+// OutEdges appends to dst the IDs of active edges leaving v and returns
+// the extended slice. If v itself is inactive the result is empty.
+func (g *Graph) OutEdges(v NodeID, dst []int) []int {
+	g.checkNode(v)
+	if g.inactive[v] {
+		return dst
+	}
+	for _, id := range g.out[v] {
+		if !g.inactive[g.edges[id].To] {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// InEdges appends to dst the IDs of active edges entering v and returns
+// the extended slice.
+func (g *Graph) InEdges(v NodeID, dst []int) []int {
+	g.checkNode(v)
+	if g.inactive[v] {
+		return dst
+	}
+	for _, id := range g.in[v] {
+		if !g.inactive[g.edges[id].From] {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// ActiveEdges returns the IDs of all active edges in increasing order.
+func (g *Graph) ActiveEdges() []int {
+	var ids []int
+	for id := range g.edges {
+		if g.EdgeActive(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// FindEdge returns the cheapest active edge from -> to, if any.
+func (g *Graph) FindEdge(from, to NodeID) (Edge, bool) {
+	g.checkNode(from)
+	var best Edge
+	found := false
+	if g.inactive[from] || g.inactive[to] {
+		return best, false
+	}
+	for _, id := range g.out[from] {
+		e := g.edges[id]
+		if e.To == to && (!found || e.Cost < best.Cost) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// Clone returns a deep copy of the graph including its activity mask.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		names:    append([]string(nil), g.names...),
+		inactive: append([]bool(nil), g.inactive...),
+		edges:    append([]Edge(nil), g.edges...),
+		out:      make([][]int, len(g.out)),
+		in:       make([][]int, len(g.in)),
+		byName:   make(map[string]NodeID, len(g.byName)),
+	}
+	for v := range g.out {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	for name, id := range g.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
+// Reachable returns the set of active nodes reachable from src along
+// active edges (src included, if active).
+func (g *Graph) Reachable(src NodeID) []bool {
+	g.checkNode(src)
+	seen := make([]bool, len(g.names))
+	if g.inactive[src] {
+		return seen
+	}
+	stack := []NodeID{src}
+	seen[src] = true
+	var buf []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = g.OutEdges(v, buf[:0])
+		for _, id := range buf {
+			to := g.edges[id].To
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachesAll reports whether every node of targets is reachable from src.
+func (g *Graph) ReachesAll(src NodeID, targets []NodeID) bool {
+	seen := g.Reachable(src)
+	for _, t := range targets {
+		if !seen[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCost returns the largest active edge cost, or 0 for an edgeless
+// graph.
+func (g *Graph) MaxCost() float64 {
+	m := 0.0
+	for id := range g.edges {
+		if g.EdgeActive(id) && g.edges[id].Cost > m {
+			m = g.edges[id].Cost
+		}
+	}
+	return m
+}
+
+// SortedNodeNames returns the names of active nodes in lexicographic
+// order (useful for deterministic reports).
+func (g *Graph) SortedNodeNames() []string {
+	var names []string
+	for v, name := range g.names {
+		if !g.inactive[v] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc maps an edge to a non-negative traversal weight. Algorithms
+// that take a WeightFunc ignore Edge.Cost and use the function instead,
+// which lets callers plug in residual or dual-adjusted costs.
+type WeightFunc func(Edge) float64
+
+// CostWeight is the WeightFunc that returns the edge's own cost.
+func CostWeight(e Edge) float64 { return e.Cost }
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// ShortestPaths runs Dijkstra from src over active edges using w as the
+// edge weight. It returns dist (math.Inf(1) for unreachable nodes) and
+// parentEdge (the edge ID used to reach each node, -1 at src and at
+// unreachable nodes).
+func (g *Graph) ShortestPaths(src NodeID, w WeightFunc) (dist []float64, parentEdge []int) {
+	return g.shortest(src, w, false)
+}
+
+// BottleneckPaths is the minimax variant of Dijkstra: the length of a
+// path is the maximum edge weight along it. It is the path rule used by
+// the MCPH tree heuristic (Section 6 of the paper).
+func (g *Graph) BottleneckPaths(src NodeID, w WeightFunc) (dist []float64, parentEdge []int) {
+	return g.shortest(src, w, true)
+}
+
+func (g *Graph) shortest(src NodeID, w WeightFunc, minimax bool) ([]float64, []int) {
+	g.checkNode(src)
+	n := len(g.names)
+	dist := make([]float64, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	if g.inactive[src] {
+		return dist, parent
+	}
+	dist[src] = 0
+	q := pq{{src, 0}}
+	var buf []int
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		buf = g.OutEdges(it.node, buf[:0])
+		for _, id := range buf {
+			e := g.edges[id]
+			wt := w(e)
+			if wt < 0 {
+				panic("graph: negative edge weight")
+			}
+			var d float64
+			if minimax {
+				d = math.Max(it.dist, wt)
+			} else {
+				d = it.dist + wt
+			}
+			if d < dist[e.To] {
+				dist[e.To] = d
+				parent[e.To] = id
+				heap.Push(&q, pqItem{e.To, d})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// MultiSourceBottleneck runs the minimax Dijkstra from a set of sources
+// (all at distance 0). Used by MCPH, whose growing tree acts as the
+// source set.
+func (g *Graph) MultiSourceBottleneck(sources []NodeID, w WeightFunc) (dist []float64, parentEdge []int) {
+	n := len(g.names)
+	dist = make([]float64, n)
+	parentEdge = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parentEdge[i] = -1
+	}
+	q := pq{}
+	for _, s := range sources {
+		g.checkNode(s)
+		if g.inactive[s] {
+			continue
+		}
+		if dist[s] > 0 {
+			dist[s] = 0
+			q = append(q, pqItem{s, 0})
+		}
+	}
+	heap.Init(&q)
+	var buf []int
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		buf = g.OutEdges(it.node, buf[:0])
+		for _, id := range buf {
+			e := g.edges[id]
+			wt := w(e)
+			if wt < 0 {
+				panic("graph: negative edge weight")
+			}
+			d := math.Max(it.dist, wt)
+			if d < dist[e.To] {
+				dist[e.To] = d
+				parentEdge[e.To] = id
+				heap.Push(&q, pqItem{e.To, d})
+			}
+		}
+	}
+	return dist, parentEdge
+}
+
+// WalkBack reconstructs the edge IDs of the path ending at node v from a
+// parentEdge array, ordered from the path start to v. It returns nil if v
+// has no recorded parent (v is a source or unreachable).
+func (g *Graph) WalkBack(parentEdge []int, v NodeID) []int {
+	var rev []int
+	for parentEdge[v] >= 0 {
+		id := parentEdge[v]
+		rev = append(rev, id)
+		v = g.edges[id].From
+		if len(rev) > len(g.edges) {
+			panic("graph: parent cycle")
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

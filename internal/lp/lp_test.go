@@ -1,0 +1,481 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMax(t *testing.T) {
+	// Classic: max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Optimum (2, 6), objective 36, duals (0, 3/2, 1).
+	m := NewModel()
+	m.Maximize()
+	x := m.AddVar(3, "x")
+	y := m.AddVar(5, "y")
+	m.AddRow(LE, 4, Term{x, 1})
+	m.AddRow(LE, 12, Term{y, 2})
+	m.AddRow(LE, 18, Term{x, 3}, Term{y, 2})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !approx(sol.Objective, 36, 1e-8) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !approx(sol.X[x], 2, 1e-8) || !approx(sol.X[y], 6, 1e-8) {
+		t.Errorf("X = %v, want (2, 6)", sol.X)
+	}
+	wantDual := []float64{0, 1.5, 1}
+	for i, w := range wantDual {
+		if !approx(sol.Dual[i], w, 1e-8) {
+			t.Errorf("dual[%d] = %v, want %v", i, sol.Dual[i], w)
+		}
+	}
+}
+
+func TestSimpleMin(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x + 3y >= 6: optimum at (3, 1), obj 9.
+	m := NewModel()
+	x := m.AddVar(2, "x")
+	y := m.AddVar(3, "y")
+	m.AddRow(GE, 4, Term{x, 1}, Term{y, 1})
+	m.AddRow(GE, 6, Term{x, 1}, Term{y, 3})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 9, 1e-8) {
+		t.Fatalf("got %v obj %v, want optimal 9", sol.Status, sol.Objective)
+	}
+	if !approx(sol.X[x], 3, 1e-8) || !approx(sol.X[y], 1, 1e-8) {
+		t.Errorf("X = %v", sol.X)
+	}
+	// Duals of a >= min problem are >= 0 and satisfy y.b = objective.
+	if sol.Dual[0] < -1e-9 || sol.Dual[1] < -1e-9 {
+		t.Errorf("duals = %v, want nonnegative", sol.Dual)
+	}
+	if !approx(4*sol.Dual[0]+6*sol.Dual[1], 9, 1e-7) {
+		t.Errorf("strong duality violated: %v", sol.Dual)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x - y = 1 -> x = 2, y = 1.
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow(EQ, 4, Term{x, 1}, Term{y, 2})
+	m.AddRow(EQ, 1, Term{x, 1}, Term{y, -1})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[x], 2, 1e-8) || !approx(sol.X[y], 1, 1e-8) {
+		t.Fatalf("got %v %v", sol.Status, sol.X)
+	}
+	if !approx(4*sol.Dual[0]+1*sol.Dual[1], 3, 1e-7) {
+		t.Errorf("strong duality violated: %v", sol.Dual)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3 (i.e. x >= 3).
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(LE, -3, Term{x, -1})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[x], 3, 1e-8) {
+		t.Fatalf("got %v x=%v", sol.Status, sol.X[x])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(LE, 1, Term{x, 1})
+	m.AddRow(GE, 2, Term{x, 1})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(0, "y")
+	m.AddRow(GE, 1, Term{x, 1}, Term{y, 1})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classically degenerate LP (multiple bases at the optimum).
+	m := NewModel()
+	m.Maximize()
+	x := m.AddVar(2, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow(LE, 4, Term{x, 1})
+	m.AddRow(LE, 4, Term{x, 1}, Term{y, 1})
+	m.AddRow(LE, 4, Term{x, 1}, Term{y, -1})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 8, 1e-8) {
+		t.Fatalf("got %v obj %v, want 8", sol.Status, sol.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Second equality is a duplicate of the first; phase 1 must mark it
+	// redundant rather than fail.
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(2, "y")
+	m.AddRow(EQ, 2, Term{x, 1}, Term{y, 1})
+	m.AddRow(EQ, 4, Term{x, 2}, Term{y, 2})
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 2, 1e-8) {
+		t.Fatalf("got %v obj %v, want 2 (x=2,y=0)", sol.Status, sol.Objective)
+	}
+}
+
+func TestZeroRow(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	m.AddRow(LE, 5, Term{x, 1})
+	m.AddRow(LE, 3) // 0 <= 3, trivially true
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.X[x], 5, 1e-9) {
+		t.Fatalf("got %v %v", sol.Status, sol.X)
+	}
+}
+
+func TestDuplicateTermsSummed(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(GE, 6, Term{x, 1}, Term{x, 2}) // effectively 3x >= 6
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x], 2, 1e-8) {
+		t.Fatalf("x = %v, want 2", sol.X[x])
+	}
+}
+
+func TestBadVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModel()
+	m.AddRow(LE, 1, Term{3, 1})
+}
+
+// bruteForce solves min c.x, rows, x >= 0 by enumerating all basic
+// solutions of the slack-augmented system. Returns (value, feasible).
+func bruteForce(c []float64, rows []row) (float64, bool) {
+	n := len(c)
+	mRows := len(rows)
+	// Build equality system with slacks.
+	total := n
+	for _, r := range rows {
+		if r.sense != EQ {
+			total++
+		}
+	}
+	a := make([][]float64, mRows)
+	b := make([]float64, mRows)
+	col := n
+	for i, r := range rows {
+		a[i] = make([]float64, total)
+		for _, t := range r.terms {
+			a[i][t.Var] += t.Coef
+		}
+		b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			a[i][col] = 1
+			col++
+		case GE:
+			a[i][col] = -1
+			col++
+		}
+	}
+	// Reduce to an independent row system first: duplicate or empty rows
+	// make every square basis singular, which would wrongly report
+	// infeasibility.
+	a, b, consistent := rowReduce(a, b)
+	if !consistent {
+		return math.Inf(1), false
+	}
+	mRows = len(a)
+	if mRows == 0 {
+		// Vacuous system: unreachable in the property tests, which
+		// always include a non-trivial box row.
+		return 0, true
+	}
+
+	best := math.Inf(1)
+	feasible := false
+	idx := make([]int, mRows)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == mRows {
+			x, ok := solveSquare(a, b, idx)
+			if !ok {
+				return
+			}
+			for _, v := range x {
+				if v < -1e-7 {
+					return
+				}
+			}
+			feasible = true
+			val := 0.0
+			for p, j := range idx {
+				if j < n {
+					val += c[j] * x[p]
+				}
+			}
+			if val < best {
+				best = val
+			}
+			return
+		}
+		for j := start; j < total; j++ {
+			idx[k] = j
+			rec(j+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, feasible
+}
+
+// rowReduce Gauss-eliminates [A | b], dropping dependent rows. It
+// returns the independent system and whether it is consistent.
+func rowReduce(a [][]float64, b []float64) ([][]float64, []float64, bool) {
+	m := len(a)
+	if m == 0 {
+		return a, b, true
+	}
+	cols := len(a[0])
+	work := make([][]float64, m)
+	for i := range work {
+		work[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	rank := 0
+	for col := 0; col < cols && rank < m; col++ {
+		p := -1
+		for r := rank; r < m; r++ {
+			if math.Abs(work[r][col]) > 1e-9 && (p < 0 || math.Abs(work[r][col]) > math.Abs(work[p][col])) {
+				p = r
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		work[rank], work[p] = work[p], work[rank]
+		pv := work[rank][col]
+		for j := col; j <= cols; j++ {
+			work[rank][j] /= pv
+		}
+		for r := 0; r < m; r++ {
+			if r == rank {
+				continue
+			}
+			f := work[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= cols; j++ {
+				work[r][j] -= f * work[rank][j]
+			}
+		}
+		rank++
+	}
+	for r := rank; r < m; r++ {
+		if math.Abs(work[r][cols]) > 1e-7 {
+			return nil, nil, false // 0 = nonzero: inconsistent
+		}
+	}
+	outA := make([][]float64, rank)
+	outB := make([]float64, rank)
+	for r := 0; r < rank; r++ {
+		outA[r] = work[r][:cols]
+		outB[r] = work[r][cols]
+	}
+	return outA, outB, true
+}
+
+// solveSquare solves A[:, idx] x = b by Gaussian elimination.
+func solveSquare(a [][]float64, b []float64, idx []int) ([]float64, bool) {
+	m := len(b)
+	mat := make([][]float64, m)
+	for i := range mat {
+		mat[i] = make([]float64, m+1)
+		for k, j := range idx {
+			mat[i][k] = a[i][j]
+		}
+		mat[i][m] = b[i]
+	}
+	for col := 0; col < m; col++ {
+		p := -1
+		for r := col; r < m; r++ {
+			if math.Abs(mat[r][col]) > 1e-9 && (p < 0 || math.Abs(mat[r][col]) > math.Abs(mat[p][col])) {
+				p = r
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		mat[col], mat[p] = mat[p], mat[col]
+		pv := mat[col][col]
+		for j := col; j <= m; j++ {
+			mat[col][j] /= pv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := mat[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= m; j++ {
+				mat[r][j] -= f * mat[col][j]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = mat[i][m]
+	}
+	return x, true
+}
+
+// Property: simplex agrees with brute-force basic-solution enumeration
+// on random small bounded LPs.
+func TestSimplexMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		mRows := 1 + rng.Intn(3)
+		m := NewModel()
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = math.Round((rng.Float64()*4-2)*4) / 4
+			m.AddVar(c[j], "")
+		}
+		var rows []row
+		for i := 0; i < mRows; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				coef := math.Round((rng.Float64()*4-2)*2) / 2
+				if coef != 0 {
+					terms = append(terms, Term{j, coef})
+				}
+			}
+			sense := Sense(rng.Intn(3))
+			rhs := math.Round((rng.Float64()*6-2)*2) / 2
+			m.AddRow(sense, rhs, terms...)
+			rows = append(rows, row{sense: sense, rhs: rhs, terms: terms})
+		}
+		// Bound the feasible region so unboundedness cannot occur.
+		boxTerms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			boxTerms[j] = Term{j, 1}
+		}
+		m.AddRow(LE, 10, boxTerms...)
+		rows = append(rows, row{sense: LE, rhs: 10, terms: boxTerms})
+
+		sol, err := m.Solve()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, feas := bruteForce(c, rows)
+		if !feas {
+			return sol.Status == Infeasible
+		}
+		if sol.Status != Optimal {
+			t.Logf("seed %d: status %v but brute force found %v", seed, sol.Status, want)
+			return false
+		}
+		if !approx(sol.Objective, want, 1e-6) {
+			t.Logf("seed %d: simplex %v vs brute %v", seed, sol.Objective, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: at optimality, duals satisfy strong duality (y.b == c.x) on
+// random feasible bounded LPs.
+func TestStrongDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := NewModel()
+		for j := 0; j < n; j++ {
+			m.AddVar(0.5+rng.Float64(), "") // positive costs: min is bounded
+		}
+		mRows := 1 + rng.Intn(4)
+		rhs := make([]float64, 0, mRows)
+		for i := 0; i < mRows; i++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				terms = append(terms, Term{j, rng.Float64()})
+			}
+			r := 1 + rng.Float64()*3
+			m.AddRow(GE, r, terms...) // feasible: x large enough works
+			rhs = append(rhs, r)
+		}
+		sol, err := m.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		dualObj := 0.0
+		for i, y := range sol.Dual {
+			if y < -1e-7 {
+				return false // >= rows of a min problem must have y >= 0
+			}
+			dualObj += y * rhs[i]
+		}
+		return approx(dualObj, sol.Objective, 1e-6*(1+math.Abs(sol.Objective)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package platforms reconstructs the example platforms of RR-5123
+// (Figures 1, 4 and 5). The figures themselves survive only partially
+// in the source text, so the reconstructions were cross-checked against
+// every constraint stated in prose: the proof-by-contradiction edge
+// structure of Section 3, the per-edge message counts and occupation
+// times of Figures 1(d)/1(e), the saturated-port lists, and the quoted
+// bound values. See DESIGN.md Section 7 for the derivations.
+package platforms
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/steady"
+)
+
+// Platform is a ready-made example instance.
+type Platform struct {
+	G       *graph.Graph
+	Source  graph.NodeID
+	Targets []graph.NodeID
+}
+
+// Problem converts the platform into a steady.Problem.
+func (p Platform) Problem() steady.Problem {
+	sp, err := steady.NewProblem(p.G, p.Source, p.Targets)
+	if err != nil {
+		panic("platforms: invalid built-in platform: " + err.Error())
+	}
+	return sp
+}
+
+// Figure1 is the worked example of Section 3: fourteen nodes, targets
+// P7..P13. Its optimal steady-state throughput is exactly 1 multicast
+// per time unit — matching the upper bound forced by P7's only in-edge
+// (cost 1) — but no single multicast tree achieves it (the best single
+// tree sustains 2/3): two trees of rate 1/2 each are needed, which is
+// the paper's headline motivation for the Series problem.
+//
+// The edge weights reproduce both figure annotation multisets quoted in
+// the text: per-edge message counts {1 x8, 1/2 x7} and occupation times
+// {1/2 x7, 1 x3, 1/5 x3, 1/10 x2}.
+func Figure1() Platform {
+	g := graph.New()
+	s := g.AddNode("Psource")
+	p := make([]graph.NodeID, 14)
+	for i := 1; i <= 13; i++ {
+		p[i] = g.AddNode(fmt.Sprintf("P%d", i))
+	}
+	g.AddEdge(s, p[1], 1)
+	g.AddEdge(s, p[3], 0.5)
+	g.AddEdge(p[3], p[2], 1)
+	g.AddEdge(p[2], p[1], 1)
+	g.AddEdge(p[1], p[11], 1)
+	g.AddEdge(p[11], p[12], 0.1)
+	g.AddEdge(p[12], p[13], 0.1)
+	g.AddEdge(p[3], p[4], 1)
+	g.AddEdge(p[4], p[5], 2)
+	g.AddEdge(p[5], p[6], 1)
+	g.AddEdge(p[2], p[6], 1)
+	g.AddEdge(p[6], p[7], 1)
+	g.AddEdge(p[7], p[8], 0.2)
+	g.AddEdge(p[8], p[9], 0.2)
+	g.AddEdge(p[9], p[10], 0.2)
+	return Platform{G: g, Source: s, Targets: p[7:14]}
+}
+
+// Figure1Trees returns the two rate-1/2 multicast trees of Figures
+// 1(b) and 1(c) whose superposition achieves the optimal throughput 1.
+// Tree A routes everything through P3 (P1 is fed by P2, P6 by P5);
+// tree B feeds P1 directly from the source and P6 through P2.
+func Figure1Trees() (Platform, [2][]int) {
+	pl := Figure1()
+	g := pl.G
+	id := func(from, to string) int {
+		a, _ := g.NodeByName(from)
+		b, _ := g.NodeByName(to)
+		e, ok := g.FindEdge(a, b)
+		if !ok {
+			panic("platforms: missing figure-1 edge " + from + "->" + to)
+		}
+		return e.ID
+	}
+	shared := []int{
+		id("P1", "P11"), id("P11", "P12"), id("P12", "P13"),
+		id("P6", "P7"), id("P7", "P8"), id("P8", "P9"), id("P9", "P10"),
+	}
+	treeA := append([]int{
+		id("Psource", "P3"), id("P3", "P2"), id("P2", "P1"), id("P2", "P6"),
+	}, shared...)
+	treeB := append([]int{
+		id("Psource", "P1"), id("Psource", "P3"),
+		id("P3", "P4"), id("P4", "P5"), id("P5", "P6"),
+	}, shared...)
+	return pl, [2][]int{treeA, treeB}
+}
+
+// Figure4 is the gadget showing that neither LP bound is tight
+// (Section 5.1.3): the scatter bound Multicast-UB yields throughput
+// 1/3, the optimistic bound Multicast-LB yields 2/3, and the true
+// optimum sits strictly between them at 1/2.
+//
+// The reconstruction is a miniature of the Theorem 1 set-cover
+// reduction: three middle nodes C1, C2, C3 (the two-element subsets
+// {x1,x2}, {x2,x3}, {x3,x1}) and three targets x1, x2, x3. It has
+// exactly the figure's edge-weight multiset (three cost-1 edges from
+// the source, six cost-1/2 subset->element edges) and its three bound
+// values are provably 1/3, 1/2 and 2/3:
+//
+//   - scatter ships three separate units over the cost-1 edges (S's
+//     out-port works 3 time units per multicast);
+//   - the optimistic bound sets n = 1/2 on every S edge (each target is
+//     covered by two subsets, so every s-target cut has capacity 1) and
+//     S's out-port works only 3/2;
+//   - any real multicast tree must use a cover, i.e. at least two
+//     cost-1 edges per message, so no packing beats 1/2 — achieved by
+//     any single two-subset tree.
+func Figure4() Platform {
+	g := graph.New()
+	s := g.AddNode("Psource")
+	c := make([]graph.NodeID, 3)
+	x := make([]graph.NodeID, 3)
+	for i := 0; i < 3; i++ {
+		c[i] = g.AddNode(fmt.Sprintf("C%d", i+1))
+	}
+	for i := 0; i < 3; i++ {
+		x[i] = g.AddNode(fmt.Sprintf("X%d", i+1))
+	}
+	for i := 0; i < 3; i++ {
+		g.AddEdge(s, c[i], 1)
+		g.AddEdge(c[i], x[i], 0.5)
+		g.AddEdge(c[i], x[(i+1)%3], 0.5)
+	}
+	return Platform{G: g, Source: s, Targets: x}
+}
+
+// Figure5 is the tightness gadget for the |Ptarget| gap between the
+// two LP bounds: a relay star where the source reaches a hub over a
+// cost-1 link and the hub serves three targets over cost-1/3 links.
+// The optimistic bound (and the true optimum) is period 1; the scatter
+// bound pays the trunk three times, period 3.
+func Figure5() Platform {
+	g := graph.New()
+	s := g.AddNode("Psource")
+	hub := g.AddNode("A")
+	ts := make([]graph.NodeID, 3)
+	for i := range ts {
+		ts[i] = g.AddNode(fmt.Sprintf("T%d", i+1))
+	}
+	g.AddEdge(s, hub, 1)
+	for _, t := range ts {
+		g.AddEdge(hub, t, 1.0/3)
+	}
+	return Platform{G: g, Source: s, Targets: ts}
+}

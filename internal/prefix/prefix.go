@@ -1,0 +1,187 @@
+// Package prefix implements the pipelined parallel-prefix problem of
+// Section 4.2: processors P_0..P_N hold values x_0..x_N and each P_i
+// must end up with y_i = x_0 + x_1 + ... + x_i for an associative,
+// non-commutative operator. The package models the enriched platform
+// (G, P, f, g, w) — communication costs per partial result [k,m] of
+// size f(k,m), computation tasks T_{k,l,m} of weight g on processors of
+// speed w — and provides prefix allocation schemes, whose per-resource
+// loads determine the steady-state period of a pipelined series of
+// prefix operations.
+//
+// It also builds the Theorem 5 reduction from MINIMUM-SET-COVER
+// (Figure 3), the proof that pipelined parallel prefix is NP-complete.
+package prefix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Platform is a parallel-prefix instance (G, P, f, g, w).
+type Platform struct {
+	G *graph.Graph
+	// Participants lists P_0..P_N in order; P_i initially holds x_i and
+	// must compute y_i.
+	Participants []graph.NodeID
+	// Compute is the per-node time per unit of task weight
+	// (math.Inf(1) for nodes that do not compute).
+	Compute []float64
+	// Size is f(k, m), the size of the partial result [k, m].
+	Size func(k, m int) float64
+	// Work is g(k, l, m), the weight of task T_{k,l,m} which reduces
+	// [k, l] and [l+1, m] into [k, m].
+	Work func(k, l, m int) float64
+}
+
+// N returns the largest prefix index (participants are P_0..P_N).
+func (p *Platform) N() int { return len(p.Participants) - 1 }
+
+// Validate checks the platform's shape.
+func (p *Platform) Validate() error {
+	if len(p.Participants) < 2 {
+		return errors.New("prefix: need at least two participants")
+	}
+	if len(p.Compute) != p.G.NumNodes() {
+		return errors.New("prefix: Compute must have one entry per node")
+	}
+	if p.Size == nil || p.Work == nil {
+		return errors.New("prefix: Size and Work functions required")
+	}
+	for i, v := range p.Participants {
+		if !p.G.Active(v) {
+			return fmt.Errorf("prefix: participant %d inactive", i)
+		}
+		if math.IsInf(p.Compute[v], 1) {
+			return fmt.Errorf("prefix: participant %d cannot compute", i)
+		}
+	}
+	return nil
+}
+
+// UnitSize is the paper's f for the reduction: the size of [k, m] is
+// the length of the reduced interval.
+func UnitSize(k, m int) float64 { return float64(m - k + 1) }
+
+// UnitWork is the paper's g == 1.
+func UnitWork(k, l, m int) float64 { return 1 }
+
+// Step is one action of a prefix allocation scheme: either a transfer
+// of the partial result [K, M] along Edge, or (Edge == -1) the
+// execution of task T_{K,L,M} on Node.
+type Step struct {
+	Edge    int
+	Node    graph.NodeID
+	K, L, M int
+	Time    float64
+}
+
+// Scheme is a prefix allocation scheme: the full list of transfers and
+// computations of one pipelined prefix instance, with the accumulated
+// per-resource occupation times that bound the steady-state period.
+type Scheme struct {
+	p     *Platform
+	Steps []Step
+	send  []float64
+	recv  []float64
+	comp  []float64
+}
+
+// NewScheme returns an empty scheme over the platform.
+func NewScheme(p *Platform) (*Scheme, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.G.NumNodes()
+	return &Scheme{
+		p:    p,
+		send: make([]float64, n),
+		recv: make([]float64, n),
+		comp: make([]float64, n),
+	}, nil
+}
+
+// Send records the transfer of [k, m] over the given edge.
+func (s *Scheme) Send(edgeID, k, m int) error {
+	if !s.p.G.EdgeActive(edgeID) {
+		return fmt.Errorf("prefix: edge %d inactive", edgeID)
+	}
+	if k > m {
+		return fmt.Errorf("prefix: bad interval [%d, %d]", k, m)
+	}
+	e := s.p.G.Edge(edgeID)
+	t := s.p.Size(k, m) * e.Cost
+	s.send[e.From] += t
+	s.recv[e.To] += t
+	s.Steps = append(s.Steps, Step{Edge: edgeID, Node: e.From, K: k, L: -1, M: m, Time: t})
+	return nil
+}
+
+// ComputeTask records the execution of T_{k,l,m} on node v.
+func (s *Scheme) ComputeTask(v graph.NodeID, k, l, m int) error {
+	if k > l || l >= m {
+		return fmt.Errorf("prefix: bad task T_{%d,%d,%d}", k, l, m)
+	}
+	w := s.p.Compute[v]
+	if math.IsInf(w, 1) {
+		return fmt.Errorf("prefix: node %s cannot compute", s.p.G.Name(v))
+	}
+	t := s.p.Work(k, l, m) * w
+	s.comp[v] += t
+	s.Steps = append(s.Steps, Step{Edge: -1, Node: v, K: k, L: l, M: m, Time: t})
+	return nil
+}
+
+// Period returns the steady-state period of the pipelined scheme: the
+// maximum, over all nodes, of send, receive and compute occupation —
+// the quantity the Theorem 5 certificate argument bounds.
+func (s *Scheme) Period() float64 {
+	best := 0.0
+	for v := range s.send {
+		best = math.Max(best, math.Max(s.send[v], math.Max(s.recv[v], s.comp[v])))
+	}
+	return best
+}
+
+// SendTime, RecvTime and CompTime expose the per-node occupations.
+func (s *Scheme) SendTime(v graph.NodeID) float64 { return s.send[v] }
+
+// RecvTime returns the receive occupation of v.
+func (s *Scheme) RecvTime(v graph.NodeID) float64 { return s.recv[v] }
+
+// CompTime returns the compute occupation of v.
+func (s *Scheme) CompTime(v graph.NodeID) float64 { return s.comp[v] }
+
+// ChainScheme is the straightforward pipeline over the participant
+// chain: P_i forwards the singleton values x_0..x_i to P_{i+1} and
+// computes y_i locally by left-to-right reduction. It requires an edge
+// between consecutive participants and is the baseline scheduler used
+// by the examples.
+func ChainScheme(p *Platform) (*Scheme, error) {
+	s, err := NewScheme(p)
+	if err != nil {
+		return nil, err
+	}
+	n := p.N()
+	for i := 0; i < n; i++ {
+		e, ok := p.G.FindEdge(p.Participants[i], p.Participants[i+1])
+		if !ok {
+			return nil, fmt.Errorf("prefix: no edge between participants %d and %d", i, i+1)
+		}
+		for q := 0; q <= i; q++ {
+			if err := s.Send(e.ID, q, q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for q := 1; q <= i; q++ {
+			if err := s.ComputeTask(p.Participants[i], 0, q-1, q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,249 @@
+package prefix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/setcover"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func chainPlatform(t *testing.T, n int, edgeCost, w float64) *Platform {
+	t.Helper()
+	g := graph.New()
+	parts := g.AddNodes("P", n+1)
+	for i := 0; i < n; i++ {
+		g.AddEdge(parts[i], parts[i+1], edgeCost)
+	}
+	compute := make([]float64, g.NumNodes())
+	for v := range compute {
+		compute[v] = w
+	}
+	return &Platform{
+		G:            g,
+		Participants: parts,
+		Compute:      compute,
+		Size:         UnitSize,
+		Work:         UnitWork,
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	p := chainPlatform(t, 2, 1, 0.5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Participants = p.Participants[:1]
+	if err := p.Validate(); err == nil {
+		t.Error("single participant accepted")
+	}
+	p = chainPlatform(t, 2, 1, 0.5)
+	p.Compute[p.Participants[1]] = math.Inf(1)
+	if err := p.Validate(); err == nil {
+		t.Error("non-computing participant accepted")
+	}
+	p = chainPlatform(t, 2, 1, 0.5)
+	p.Compute = p.Compute[:1]
+	if err := p.Validate(); err == nil {
+		t.Error("short Compute slice accepted")
+	}
+}
+
+func TestChainSchemeLoads(t *testing.T) {
+	// P0 -> P1 -> P2, unit edges, w = 1/2. P1 forwards x0 and x1 to P2
+	// (send 2), P2 receives 2 and computes two tasks (comp 1).
+	p := chainPlatform(t, 2, 1, 0.5)
+	s, err := ChainScheme(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1, p2 := p.Participants[0], p.Participants[1], p.Participants[2]
+	if !approx(s.SendTime(p0), 1, 1e-12) || !approx(s.SendTime(p1), 2, 1e-12) {
+		t.Errorf("sends = %v, %v", s.SendTime(p0), s.SendTime(p1))
+	}
+	if !approx(s.RecvTime(p2), 2, 1e-12) {
+		t.Errorf("recv(P2) = %v", s.RecvTime(p2))
+	}
+	if !approx(s.CompTime(p1), 0.5, 1e-12) || !approx(s.CompTime(p2), 1, 1e-12) {
+		t.Errorf("comp = %v, %v", s.CompTime(p1), s.CompTime(p2))
+	}
+	if !approx(s.Period(), 2, 1e-12) {
+		t.Errorf("period = %v, want 2", s.Period())
+	}
+}
+
+func TestChainSchemeNeedsEdges(t *testing.T) {
+	g := graph.New()
+	parts := g.AddNodes("P", 3)
+	g.AddEdge(parts[0], parts[1], 1) // missing P1->P2
+	compute := []float64{1, 1, 1}
+	p := &Platform{G: g, Participants: parts, Compute: compute, Size: UnitSize, Work: UnitWork}
+	if _, err := ChainScheme(p); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+}
+
+func TestSchemeRejectsBadSteps(t *testing.T) {
+	p := chainPlatform(t, 2, 1, 0.5)
+	s, err := NewScheme(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(0, 2, 1); err == nil {
+		t.Error("bad interval accepted")
+	}
+	if err := s.ComputeTask(p.Participants[0], 1, 1, 1); err == nil {
+		t.Error("bad task accepted")
+	}
+	p.Compute[3-1] = math.Inf(1) // make a non-participant... node 2 is a participant; use explicit graph below
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	pp := &Platform{
+		G:            g,
+		Participants: []graph.NodeID{a, b},
+		Compute:      []float64{1, math.Inf(1)},
+		Size:         UnitSize,
+		Work:         UnitWork,
+	}
+	if err := pp.Validate(); err == nil {
+		t.Error("participant with infinite compute accepted")
+	}
+}
+
+func TestFigure3EdgeWeights(t *testing.T) {
+	// The proof's key identity: u_i + (i-1) v_{i-1} = 1 for 2 <= i <= N.
+	for n := 2; n <= 12; n++ {
+		for i := 2; i <= n; i++ {
+			got := UCost(i, n) + float64(i-1)*VCost(i-1, n)
+			if !approx(got, 1, 1e-12) {
+				t.Fatalf("n=%d i=%d: u+iv = %v, want 1", n, i, got)
+			}
+		}
+		for i := 1; i <= n; i++ {
+			if UCost(i, n) <= 0 {
+				t.Fatalf("u_%d <= 0 for n=%d", i, n)
+			}
+		}
+	}
+}
+
+// TestTheorem5Correspondence builds the Figure 3 gadget from the
+// paper's Figure 2 set-cover instance and checks the completeness
+// argument: with B = K* the cover scheme reaches period exactly 1;
+// with B = K* - 1 the source's out-port alone exceeds 1.
+func TestTheorem5Correspondence(t *testing.T) {
+	ins := setcover.PaperExample()
+	cover, err := setcover.Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Reduce(ins, len(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.CoverScheme(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Period(), 1, 1e-9) {
+		t.Fatalf("period with B = K*: %v, want 1", s.Period())
+	}
+	// Every X'_i (i >= 2) is receive-saturated, as in the proof.
+	for i := 2; i <= ins.NumElements; i++ {
+		if !approx(s.RecvTime(r.Primes[i-1]), 1, 1e-9) {
+			t.Errorf("recv(X'_%d) = %v, want 1", i, s.RecvTime(r.Primes[i-1]))
+		}
+	}
+
+	r2, err := Reduce(ins, len(cover)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r2.CoverScheme(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Period() <= 1+1e-9 {
+		t.Fatalf("period with B = K*-1: %v, want > 1", s2.Period())
+	}
+	if !approx(s2.SendTime(r2.Source), float64(len(cover))/float64(len(cover)-1), 1e-9) {
+		t.Errorf("source send = %v", s2.SendTime(r2.Source))
+	}
+}
+
+func TestCoverSchemeRejectsNonCover(t *testing.T) {
+	ins := setcover.PaperExample()
+	r, err := Reduce(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CoverScheme([]int{0}); err == nil {
+		t.Fatal("non-cover accepted")
+	}
+}
+
+func TestReduceValidatesBounds(t *testing.T) {
+	ins := setcover.PaperExample()
+	if _, err := Reduce(ins, 0); err == nil {
+		t.Error("B = 0 accepted")
+	}
+	if _, err := Reduce(ins, 99); err == nil {
+		t.Error("B > |C| accepted")
+	}
+}
+
+// Property: for random coverable instances and any valid cover of size
+// <= B, the cover scheme's period is exactly max(1, |cover|/B); the
+// receive saturation identity holds independently of the instance.
+func TestCoverSchemePeriodProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := 2 + rng.Intn(4)
+		ins := setcover.Instance{NumElements: n}
+		for i := 0; i < k; i++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(2) == 0 {
+					s = append(s, e)
+				}
+			}
+			if len(s) == 0 {
+				s = []int{rng.Intn(n)}
+			}
+			ins.Subsets = append(ins.Subsets, s)
+		}
+		if ins.Validate() != nil {
+			return true
+		}
+		cover, err := setcover.Exact(ins)
+		if err != nil {
+			return true
+		}
+		B := 1 + rng.Intn(k)
+		r, err := Reduce(ins, B)
+		if err != nil {
+			return false
+		}
+		s, err := r.CoverScheme(cover)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := math.Max(1, float64(len(cover))/float64(B))
+		if !approx(s.Period(), want, 1e-9) {
+			t.Logf("seed %d: period %v, want %v", seed, s.Period(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package prefix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/setcover"
+)
+
+// Reduction is the Theorem 5 gadget (Figure 3): a parallel-prefix
+// platform built from a MINIMUM-SET-COVER instance such that a
+// steady-state period of 1 is reachable iff the instance has a cover
+// of size at most B. The participant set is {Ps, X'_1, ..., X'_N}.
+type Reduction struct {
+	P        *Platform
+	Ins      setcover.Instance
+	B        int
+	Source   graph.NodeID // Ps = P_0
+	Subsets  []graph.NodeID
+	Elements []graph.NodeID // X_i relay nodes
+	Primes   []graph.NodeID // X'_i participant nodes
+}
+
+// UCost is the Figure 3 weight of edge X_i -> X'_i.
+func UCost(i, n int) float64 { return 1/float64(i) - 1/float64(n+1) }
+
+// VCost is the Figure 3 weight of edge X'_i -> X'_{i+1}.
+func VCost(i, n int) float64 { return 1/float64(i+1) + 1/(float64(n+1)*float64(i)) }
+
+// Reduce builds the Theorem 5 platform for bound B.
+func Reduce(ins setcover.Instance, B int) (*Reduction, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if B < 1 || B > len(ins.Subsets) {
+		return nil, fmt.Errorf("prefix: bound B=%d outside [1, %d]", B, len(ins.Subsets))
+	}
+	n := ins.NumElements
+	g := graph.New()
+	r := &Reduction{Ins: ins, B: B, Source: g.AddNode("Ps")}
+	for i := range ins.Subsets {
+		r.Subsets = append(r.Subsets, g.AddNode(fmt.Sprintf("C%d", i+1)))
+	}
+	for i := 1; i <= n; i++ {
+		r.Elements = append(r.Elements, g.AddNode(fmt.Sprintf("X%d", i)))
+	}
+	for i := 1; i <= n; i++ {
+		r.Primes = append(r.Primes, g.AddNode(fmt.Sprintf("X'%d", i)))
+	}
+	cb := 1 / float64(B)
+	cn := 1 / float64(n)
+	for i, s := range ins.Subsets {
+		g.AddEdge(r.Source, r.Subsets[i], cb)
+		for _, e := range s {
+			g.AddEdge(r.Subsets[i], r.Elements[e], cn)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		g.AddEdge(r.Elements[i-1], r.Primes[i-1], UCost(i, n))
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(r.Primes[i-1], r.Primes[i], VCost(i, n))
+	}
+
+	compute := make([]float64, g.NumNodes())
+	for v := range compute {
+		compute[v] = math.Inf(1)
+	}
+	participants := append([]graph.NodeID{r.Source}, r.Primes...)
+	for _, v := range participants {
+		compute[v] = 1 / float64(n)
+	}
+	r.P = &Platform{
+		G:            g,
+		Participants: participants,
+		Compute:      compute,
+		Size:         UnitSize,
+		Work:         UnitWork,
+	}
+	return r, nil
+}
+
+// CoverScheme builds the single prefix allocation scheme of the
+// Theorem 5 completeness proof from a set cover:
+//
+//   - Ps sends x_0 to the chosen subsets;
+//   - each chosen subset forwards x_0 to the elements it is the
+//     leftmost chosen cover of;
+//   - each X_i relays x_0 to the participant X'_i;
+//   - each X'_i forwards the singletons x_1..x_i down the chain and
+//     reduces y_i left-to-right.
+//
+// With a cover of size <= B every load is <= 1, so the pipelined
+// period is exactly 1.
+func (r *Reduction) CoverScheme(cover []int) (*Scheme, error) {
+	if !r.Ins.Covers(cover) {
+		return nil, fmt.Errorf("prefix: %v is not a cover", cover)
+	}
+	s, err := NewScheme(r.P)
+	if err != nil {
+		return nil, err
+	}
+	picked := append([]int(nil), cover...)
+	sort.Ints(picked)
+	g := r.P.G
+	for _, ci := range picked {
+		e, _ := g.FindEdge(r.Source, r.Subsets[ci])
+		if err := s.Send(e.ID, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Leftmost-cover rule: element j is served by the first chosen
+	// subset containing it.
+	for j := 0; j < r.Ins.NumElements; j++ {
+		served := false
+		for _, ci := range picked {
+			if contains(r.Ins.Subsets[ci], j) {
+				e, _ := g.FindEdge(r.Subsets[ci], r.Elements[j])
+				if err := s.Send(e.ID, 0, 0); err != nil {
+					return nil, err
+				}
+				served = true
+				break
+			}
+		}
+		if !served {
+			return nil, fmt.Errorf("prefix: element %d not served", j)
+		}
+	}
+	n := r.Ins.NumElements
+	for i := 1; i <= n; i++ {
+		e, _ := g.FindEdge(r.Elements[i-1], r.Primes[i-1])
+		if err := s.Send(e.ID, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < n; i++ {
+		e, _ := g.FindEdge(r.Primes[i-1], r.Primes[i])
+		for q := 1; q <= i; q++ {
+			if err := s.Send(e.ID, q, q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		for q := 1; q <= i; q++ {
+			if err := s.ComputeTask(r.Primes[i-1], 0, q-1, q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

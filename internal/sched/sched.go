@@ -1,0 +1,146 @@
+// Package sched builds explicit periodic communication schedules from
+// steady-state solutions: given the per-edge occupation times of one
+// period, it orchestrates all transfers into non-conflicting time slots
+// using the weighted bipartite edge colouring of internal/color — the
+// constructive half of the paper's NP-membership certificates, and the
+// reconstruction scheme referenced for the scatter-like solutions
+// (Multicast-UB, MulticastMultiSource-UB).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/color"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// tol is the slack tolerance of schedule validation.
+const tol = 1e-6
+
+// Slot is one contiguous transfer on a platform edge within a period.
+type Slot struct {
+	EdgeID int
+	Start  float64
+	Length float64
+}
+
+// Timetable is a periodic schedule: the slots repeat every Period time
+// units.
+type Timetable struct {
+	Period float64
+	Slots  []Slot
+}
+
+// FromLoads orchestrates per-edge occupation times (occupation[e] =
+// n(e) * c(e), the link busy time per period) into a conflict-free
+// timetable. It fails if some port's total occupation exceeds the
+// period — otherwise König's theorem guarantees the packing fits.
+func FromLoads(g *graph.Graph, occupation []float64, period float64) (*Timetable, error) {
+	var demands []color.Demand
+	type pairKey struct{ from, to graph.NodeID }
+	perPair := map[pairKey][]int{}
+	for _, id := range g.ActiveEdges() {
+		occ := occupation[id]
+		if occ <= tol {
+			continue
+		}
+		e := g.Edge(id)
+		demands = append(demands, color.Demand{Sender: int(e.From), Receiver: int(e.To), Load: occ})
+		k := pairKey{e.From, e.To}
+		perPair[k] = append(perPair[k], id)
+	}
+	ivs, makespan, err := color.Schedule(demands)
+	if err != nil {
+		return nil, err
+	}
+	if makespan > period+tol {
+		return nil, fmt.Errorf("sched: port load %.6g exceeds period %.6g", makespan, period)
+	}
+	// Map pair intervals back to edges; parallel edges between the same
+	// pair consume the pair's intervals in time order.
+	remaining := map[int]float64{}
+	for k, ids := range perPair {
+		_ = k
+		for _, id := range ids {
+			remaining[id] = occupation[id]
+		}
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+	tt := &Timetable{Period: period}
+	for _, iv := range ivs {
+		k := pairKey{graph.NodeID(iv.Sender), graph.NodeID(iv.Receiver)}
+		start, left := iv.Start, iv.Length
+		for _, id := range perPair[k] {
+			if left <= tol {
+				break
+			}
+			take := math.Min(left, remaining[id])
+			if take <= tol {
+				continue
+			}
+			tt.Slots = append(tt.Slots, Slot{EdgeID: id, Start: start, Length: take})
+			remaining[id] -= take
+			start += take
+			left -= take
+		}
+		if left > tol {
+			return nil, fmt.Errorf("sched: interval for %v->%v not fully assigned", iv.Sender, iv.Receiver)
+		}
+	}
+	return tt, tt.Validate(g, occupation)
+}
+
+// FromTrees builds the one-time-unit periodic timetable carrying rate_k
+// messages of each weighted tree per period. It fails if the trees
+// overload some port (total rate-weighted cost above 1 per time unit).
+func FromTrees(g *graph.Graph, trees []tree.WeightedTree) (*Timetable, error) {
+	occupation := make([]float64, g.NumEdges())
+	for _, wt := range trees {
+		for _, id := range wt.Tree.Edges {
+			occupation[id] += wt.Rate * g.Edge(id).Cost
+		}
+	}
+	return FromLoads(g, occupation, 1)
+}
+
+// Validate checks the timetable against the one-port model and the
+// requested occupations: slots fit in the period, per-edge totals match
+// occupation, and no node sends (or receives) two overlapping slots.
+func (tt *Timetable) Validate(g *graph.Graph, occupation []float64) error {
+	perEdge := make([]float64, g.NumEdges())
+	type busy struct{ start, end float64 }
+	send := map[graph.NodeID][]busy{}
+	recv := map[graph.NodeID][]busy{}
+	for _, s := range tt.Slots {
+		if s.Length < -tol || s.Start < -tol || s.Start+s.Length > tt.Period+tol {
+			return fmt.Errorf("sched: slot %+v escapes the period %.6g", s, tt.Period)
+		}
+		e := g.Edge(s.EdgeID)
+		perEdge[s.EdgeID] += s.Length
+		send[e.From] = append(send[e.From], busy{s.Start, s.Start + s.Length})
+		recv[e.To] = append(recv[e.To], busy{s.Start, s.Start + s.Length})
+	}
+	for id, occ := range occupation {
+		if math.Abs(perEdge[id]-occ) > tol*(1+occ) {
+			return fmt.Errorf("sched: edge %d scheduled %.6g, want %.6g", id, perEdge[id], occ)
+		}
+	}
+	check := func(m map[graph.NodeID][]busy, kind string) error {
+		for v, list := range m {
+			sort.Slice(list, func(a, b int) bool { return list[a].start < list[b].start })
+			for i := 1; i < len(list); i++ {
+				if list[i].start < list[i-1].end-tol {
+					return fmt.Errorf("sched: %s conflict at %s", kind, g.Name(v))
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(send, "send"); err != nil {
+		return err
+	}
+	return check(recv, "receive")
+}

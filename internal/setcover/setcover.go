@@ -1,0 +1,227 @@
+// Package setcover implements MINIMUM-SET-COVER instances, solvers and
+// the reduction of Theorem 1: every set-cover instance maps to a
+// COMPACT-MULTICAST platform (Figure 2 of the paper) on which finding
+// the best single multicast tree is exactly finding a minimum cover.
+// This is the machinery behind the paper's NP-hardness and
+// inapproximability results (Theorems 1-4), reproduced here both as
+// executable evidence and as a generator of adversarial test instances.
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Instance is a MINIMUM-SET-COVER instance: cover all elements
+// 0..NumElements-1 using as few of the Subsets as possible.
+type Instance struct {
+	NumElements int
+	Subsets     [][]int
+}
+
+// Validate checks element indices and that a cover exists at all.
+func (ins Instance) Validate() error {
+	if ins.NumElements <= 0 {
+		return errors.New("setcover: no elements")
+	}
+	if len(ins.Subsets) == 0 {
+		return errors.New("setcover: no subsets")
+	}
+	covered := make([]bool, ins.NumElements)
+	for si, s := range ins.Subsets {
+		if len(s) == 0 {
+			return fmt.Errorf("setcover: subset %d is empty", si)
+		}
+		for _, e := range s {
+			if e < 0 || e >= ins.NumElements {
+				return fmt.Errorf("setcover: subset %d references element %d", si, e)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("setcover: element %d is uncoverable", e)
+		}
+	}
+	return nil
+}
+
+// Covers reports whether the chosen subset indices cover every element.
+func (ins Instance) Covers(pick []int) bool {
+	covered := make([]bool, ins.NumElements)
+	n := 0
+	for _, si := range pick {
+		if si < 0 || si >= len(ins.Subsets) {
+			return false
+		}
+		for _, e := range ins.Subsets[si] {
+			if !covered[e] {
+				covered[e] = true
+				n++
+			}
+		}
+	}
+	return n == ins.NumElements
+}
+
+// PaperExample is the instance of Figure 2: X = {X1..X8},
+// C = {{X1,X2,X3,X4}, {X3,X4,X5}, {X4,X5,X6}, {X5,X6,X7,X8}} (the
+// paper's text has an obvious typo, "{X5,X6,X6,X8}"). Elements are
+// zero-indexed here. Its minimum cover is {C1, C4}, size 2.
+func PaperExample() Instance {
+	return Instance{
+		NumElements: 8,
+		Subsets: [][]int{
+			{0, 1, 2, 3},
+			{2, 3, 4},
+			{3, 4, 5},
+			{4, 5, 6, 7},
+		},
+	}
+}
+
+// Greedy returns the classical ln(n)-approximate cover: repeatedly take
+// the subset covering the most uncovered elements (ties to the lowest
+// index).
+func Greedy(ins Instance) []int {
+	covered := make([]bool, ins.NumElements)
+	left := ins.NumElements
+	var pick []int
+	for left > 0 {
+		best, bestGain := -1, 0
+		for si, s := range ins.Subsets {
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = si, gain
+			}
+		}
+		if best < 0 {
+			return nil // uncoverable
+		}
+		pick = append(pick, best)
+		for _, e := range ins.Subsets[best] {
+			if !covered[e] {
+				covered[e] = true
+				left--
+			}
+		}
+	}
+	sort.Ints(pick)
+	return pick
+}
+
+// MaxExactSubsets guards the exponential exact solver.
+const MaxExactSubsets = 24
+
+// Exact returns a minimum cover by branch-and-bound over subsets
+// (greedy incumbent, uncovered-element branching). Exponential;
+// guarded by MaxExactSubsets.
+func Exact(ins Instance) ([]int, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ins.Subsets) > MaxExactSubsets {
+		return nil, errors.New("setcover: instance too large for exact search")
+	}
+	bestPick := Greedy(ins)
+	if bestPick == nil {
+		return nil, errors.New("setcover: uncoverable")
+	}
+	best := len(bestPick)
+	coveredBy := make([][]int, ins.NumElements)
+	for si, s := range ins.Subsets {
+		for _, e := range s {
+			coveredBy[e] = append(coveredBy[e], si)
+		}
+	}
+	count := make([]int, ins.NumElements)
+	var cur []int
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth >= best {
+			return
+		}
+		// Branch on the first uncovered element.
+		uncovered := -1
+		for e, c := range count {
+			if c == 0 {
+				uncovered = e
+				break
+			}
+		}
+		if uncovered < 0 {
+			best = depth
+			bestPick = append(bestPick[:0], cur...)
+			return
+		}
+		for _, si := range coveredBy[uncovered] {
+			cur = append(cur, si)
+			for _, e := range ins.Subsets[si] {
+				count[e]++
+			}
+			rec(depth + 1)
+			for _, e := range ins.Subsets[si] {
+				count[e]--
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	sort.Ints(bestPick)
+	return bestPick, nil
+}
+
+// Reduction is the Theorem 1 platform built from a set-cover instance:
+// a source, one relay per subset (edges of cost 1/B from the source)
+// and one target per element (edges of cost 1/N from each subset
+// containing it). A single multicast tree of period <= 1 exists iff the
+// instance has a cover of size <= B, and the optimal single-tree
+// throughput is exactly B divided by the minimum cover size.
+type Reduction struct {
+	G        *graph.Graph
+	Source   graph.NodeID
+	Subsets  []graph.NodeID
+	Elements []graph.NodeID
+	B        int
+}
+
+// Targets returns the element nodes (the multicast target set).
+func (r *Reduction) Targets() []graph.NodeID {
+	return append([]graph.NodeID(nil), r.Elements...)
+}
+
+// Reduce builds the Figure 2 platform for bound B.
+func Reduce(ins Instance, B int) (*Reduction, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, err
+	}
+	if B < 1 || B > len(ins.Subsets) {
+		return nil, fmt.Errorf("setcover: bound B=%d outside [1, %d]", B, len(ins.Subsets))
+	}
+	g := graph.New()
+	r := &Reduction{G: g, Source: g.AddNode("Psource"), B: B}
+	for i := range ins.Subsets {
+		r.Subsets = append(r.Subsets, g.AddNode(fmt.Sprintf("C%d", i+1)))
+	}
+	for e := 0; e < ins.NumElements; e++ {
+		r.Elements = append(r.Elements, g.AddNode(fmt.Sprintf("X%d", e+1)))
+	}
+	cb := 1 / float64(B)
+	cn := 1 / float64(ins.NumElements)
+	for i, s := range ins.Subsets {
+		g.AddEdge(r.Source, r.Subsets[i], cb)
+		for _, e := range s {
+			g.AddEdge(r.Subsets[i], r.Elements[e], cn)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,217 @@
+package setcover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperExample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Instance{
+		{NumElements: 0, Subsets: [][]int{{0}}},
+		{NumElements: 2, Subsets: nil},
+		{NumElements: 2, Subsets: [][]int{{}}},
+		{NumElements: 2, Subsets: [][]int{{5}}},
+		{NumElements: 2, Subsets: [][]int{{0}}}, // element 1 uncoverable
+	}
+	for i, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestGreedyAndExactOnPaperExample(t *testing.T) {
+	ins := PaperExample()
+	g := Greedy(ins)
+	if !ins.Covers(g) {
+		t.Fatalf("greedy pick %v is not a cover", g)
+	}
+	exact, err := Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.Covers(exact) {
+		t.Fatalf("exact pick %v is not a cover", exact)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("minimum cover size = %d, want 2", len(exact))
+	}
+	if len(g) < len(exact) {
+		t.Fatalf("greedy %v beat exact %v", g, exact)
+	}
+}
+
+func TestExactGuards(t *testing.T) {
+	ins := Instance{NumElements: 1, Subsets: make([][]int, MaxExactSubsets+1)}
+	for i := range ins.Subsets {
+		ins.Subsets[i] = []int{0}
+	}
+	if _, err := Exact(ins); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	ins := PaperExample()
+	r, err := Reduce(ins, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.G.NumNodes() != 1+len(ins.Subsets)+ins.NumElements {
+		t.Fatalf("nodes = %d", r.G.NumNodes())
+	}
+	wantEdges := len(ins.Subsets)
+	for _, s := range ins.Subsets {
+		wantEdges += len(s)
+	}
+	if r.G.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", r.G.NumEdges(), wantEdges)
+	}
+	if _, err := Reduce(ins, 0); err == nil {
+		t.Error("B=0 accepted")
+	}
+	if _, err := Reduce(ins, 5); err == nil {
+		t.Error("B>|C| accepted")
+	}
+}
+
+// TestTheorem1Correspondence checks the reduction's defining property
+// on the paper's own example: with B equal to the minimum cover size
+// the best single multicast tree reaches period exactly 1 (throughput
+// rho = 1), and with B one less it cannot.
+func TestTheorem1Correspondence(t *testing.T) {
+	ins := PaperExample()
+	exact, err := Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kStar := len(exact) // 2
+
+	r, err := Reduce(ins, kStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, period, err := tree.BestSingleTree(r.G, r.Source, r.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-1) > 1e-9 {
+		t.Errorf("B = K*: best single tree period = %v, want 1", period)
+	}
+
+	r, err = Reduce(ins, kStar-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, period, err = tree.BestSingleTree(r.G, r.Source, r.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period <= 1+1e-9 {
+		t.Errorf("B = K*-1: best single tree period = %v, want > 1", period)
+	}
+}
+
+// TestTheorem2Correspondence checks the sharper statement used for the
+// inapproximability result: the optimal single-tree throughput equals
+// B / K*, and (because the source out-port lower-bounds every tree by
+// the cover size) even the optimal weighted tree packing cannot beat
+// it.
+func TestTheorem2Correspondence(t *testing.T) {
+	ins := Instance{
+		NumElements: 4,
+		Subsets:     [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {0, 1, 2}},
+	}
+	exact, err := Exact(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kStar := float64(len(exact)) // {0,1,2} + one containing 3 -> 2
+	if kStar != 2 {
+		t.Fatalf("unexpected K* = %v", kStar)
+	}
+	B := 3
+	r, err := Reduce(ins, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, period, err := tree.BestSingleTree(r.G, r.Source, r.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantThr := float64(B) / kStar
+	if math.Abs(1/period-wantThr) > 1e-9 {
+		t.Errorf("single-tree throughput = %v, want B/K* = %v", 1/period, wantThr)
+	}
+	pk, err := tree.PackOptimal(r.G, r.Source, r.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Throughput > wantThr+1e-6 {
+		t.Errorf("packing throughput %v beats B/K* = %v", pk.Throughput, wantThr)
+	}
+	if pk.Throughput < wantThr-1e-6 {
+		t.Errorf("packing throughput %v below the achievable B/K* = %v", pk.Throughput, wantThr)
+	}
+}
+
+// Property: greedy always returns a cover; exact is a cover no larger
+// than greedy; exact matches brute-force enumeration.
+func TestSolversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		k := 2 + rng.Intn(5)
+		ins := Instance{NumElements: n}
+		for i := 0; i < k; i++ {
+			var s []int
+			for e := 0; e < n; e++ {
+				if rng.Intn(3) == 0 {
+					s = append(s, e)
+				}
+			}
+			if len(s) == 0 {
+				s = []int{rng.Intn(n)}
+			}
+			ins.Subsets = append(ins.Subsets, s)
+		}
+		if ins.Validate() != nil {
+			return true // uncoverable draws are fine to skip
+		}
+		greedy := Greedy(ins)
+		if !ins.Covers(greedy) {
+			return false
+		}
+		exact, err := Exact(ins)
+		if err != nil || !ins.Covers(exact) {
+			return false
+		}
+		if len(exact) > len(greedy) {
+			return false
+		}
+		// Brute force over all subset combinations.
+		best := k + 1
+		for mask := 1; mask < 1<<k; mask++ {
+			var pick []int
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					pick = append(pick, i)
+				}
+			}
+			if len(pick) < best && ins.Covers(pick) {
+				best = len(pick)
+			}
+		}
+		return len(exact) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platforms"
+	"repro/internal/tree"
+)
+
+func TestRunChain(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	e1 := g.AddEdge(s, a, 1)
+	e2 := g.AddEdge(a, b, 1)
+	tr := &tree.Tree{Root: s, Edges: []int{e1, e2}}
+	rep, err := Run(g, s, []graph.NodeID{a, b}, []tree.WeightedTree{{Tree: tr, Rate: 1}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully pipelined chain: one multicast per time unit in steady state.
+	if math.Abs(rep.Throughput-1) > 0.05 {
+		t.Fatalf("throughput = %v, want ~1", rep.Throughput)
+	}
+	if rep.Transfers != 2*64 {
+		t.Fatalf("transfers = %d, want 128", rep.Transfers)
+	}
+	if rep.Makespan < 65 || rep.Makespan > 67 {
+		t.Fatalf("makespan = %v, want ~66", rep.Makespan)
+	}
+}
+
+func TestRunStarSerialisesSends(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	ts := g.AddNodes("t", 3)
+	var edges []int
+	for _, v := range ts {
+		edges = append(edges, g.AddEdge(s, v, 1))
+	}
+	tr := &tree.Tree{Root: s, Edges: edges}
+	rep, err := Run(g, s, ts, []tree.WeightedTree{{Tree: tr, Rate: 1.0 / 3}}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source's out-port serialises three unit sends per message.
+	if math.Abs(rep.Throughput-1.0/3) > 0.02 {
+		t.Fatalf("throughput = %v, want ~1/3", rep.Throughput)
+	}
+}
+
+// TestRunFigure1 drives the paper's two rate-1/2 trees and checks that
+// the simulated one-port execution sustains (close to) the optimal
+// throughput of one multicast per time unit that the static analysis
+// promises.
+func TestRunFigure1(t *testing.T) {
+	pl, treeEdges := platforms.Figure1Trees()
+	trees := []tree.WeightedTree{
+		{Tree: &tree.Tree{Root: pl.Source, Edges: treeEdges[0]}, Rate: 0.5},
+		{Tree: &tree.Tree{Root: pl.Source, Edges: treeEdges[1]}, Rate: 0.5},
+	}
+	rep, err := Run(pl.G, pl.Source, pl.Targets, trees, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < 0.9 || rep.Throughput > 1.05 {
+		t.Fatalf("simulated throughput = %v, want ~1 (greedy may lose a few %%)", rep.Throughput)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	e := g.AddEdge(s, a, 1)
+	tr := &tree.Tree{Root: s, Edges: []int{e}}
+	if _, err := Run(g, s, []graph.NodeID{a}, []tree.WeightedTree{{Tree: tr, Rate: 1}}, 0); err == nil {
+		t.Error("zero messages accepted")
+	}
+	if _, err := Run(g, s, []graph.NodeID{a}, []tree.WeightedTree{{Tree: tr, Rate: -1}}, 4); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Run(g, s, []graph.NodeID{a}, nil, 4); err == nil {
+		t.Error("empty tree set accepted")
+	}
+	bad := &tree.Tree{Root: s, Edges: nil} // does not cover the target
+	if _, err := Run(g, s, []graph.NodeID{a}, []tree.WeightedTree{{Tree: bad, Rate: 1}}, 4); err == nil {
+		t.Error("non-covering tree accepted")
+	}
+}
+
+func TestRunSplitsLoadAcrossTrees(t *testing.T) {
+	// Two disjoint unit-cost routes to the same target; with rate 1/2
+	// each, messages alternate and sustain throughput ~1.
+	g := graph.New()
+	s := g.AddNode("S")
+	r1 := g.AddNode("r1")
+	r2 := g.AddNode("r2")
+	x := g.AddNode("x")
+	t1 := &tree.Tree{Root: s, Edges: []int{g.AddEdge(s, r1, 1), g.AddEdge(r1, x, 1)}}
+	t2 := &tree.Tree{Root: s, Edges: []int{g.AddEdge(s, r2, 1), g.AddEdge(r2, x, 1)}}
+	rep, err := Run(g, s, []graph.NodeID{x}, []tree.WeightedTree{
+		{Tree: t1, Rate: 0.5}, {Tree: t2, Rate: 0.5},
+	}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < 0.9 {
+		t.Fatalf("throughput = %v, want ~1", rep.Throughput)
+	}
+}

@@ -1,0 +1,102 @@
+package steady
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// multicastLBDirect solves the Multicast-LB program in the paper's own
+// per-target formulation (normalised to throughput form): one flow
+// x^i per target of value rho under shared optimistic loads
+// n(e) >= x^i(e). Polynomial-size but with |targets| * |edges|
+// variables, so it is used for sparse target sets, where the
+// cut-covering master of MulticastLB is known to wander (see
+// solveLBMaster); for dense target sets the cutting plane is far
+// smaller and converges quickly.
+func multicastLBDirect(p Problem) (*Bound, error) {
+	g := p.G
+	if !g.ReachesAll(p.Source, p.Targets) {
+		return infeasibleBound(), nil
+	}
+	scale := g.MaxCost()
+	if scale <= 0 {
+		return infeasibleBound(), nil
+	}
+	edges := g.ActiveEdges()
+	m := lp.NewModel()
+	m.Maximize()
+	rhoVar := m.AddVar(1, "rho")
+	nVar := make(map[int]int, len(edges))
+	for _, id := range edges {
+		nVar[id] = m.AddVar(0, "")
+	}
+	// Port rows over n.
+	var buf []int
+	for _, v := range g.ActiveNodes() {
+		for _, in := range []bool{true, false} {
+			if in {
+				buf = g.InEdges(v, buf[:0])
+			} else {
+				buf = g.OutEdges(v, buf[:0])
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			terms := make([]lp.Term, 0, len(buf))
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: nVar[id], Coef: g.Edge(id).Cost / scale})
+			}
+			m.AddRow(lp.LE, 1, terms...)
+		}
+	}
+	// Per-target flows of value rho, dominated by n.
+	for _, t := range p.Targets {
+		xVar := make(map[int]int, len(edges))
+		for _, id := range edges {
+			xVar[id] = m.AddVar(0, "")
+		}
+		for _, v := range g.ActiveNodes() {
+			var terms []lp.Term
+			buf = g.OutEdges(v, buf[:0])
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: xVar[id], Coef: 1})
+			}
+			buf = g.InEdges(v, buf[:0])
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: xVar[id], Coef: -1})
+			}
+			switch v {
+			case p.Source:
+				terms = append(terms, lp.Term{Var: rhoVar, Coef: -1})
+			case t:
+				terms = append(terms, lp.Term{Var: rhoVar, Coef: 1})
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			m.AddRow(lp.EQ, 0, terms...)
+		}
+		for _, id := range edges {
+			m.AddRow(lp.LE, 0, lp.Term{Var: xVar[id], Coef: 1}, lp.Term{Var: nVar[id], Coef: -1})
+		}
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("steady: MulticastLB direct: unexpected LP status %v", sol.Status)
+	}
+	rho := sol.X[rhoVar]
+	if rho <= cutTol {
+		return nil, errors.New("steady: MulticastLB direct: zero throughput on a reachable instance")
+	}
+	loads := make([]float64, g.NumEdges())
+	for id, v := range nVar {
+		loads[id] = math.Max(0, sol.X[v]) / rho
+	}
+	return &Bound{Period: scale / rho, EdgeLoad: loads, Rounds: 1}, nil
+}

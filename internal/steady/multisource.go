@@ -1,0 +1,226 @@
+package steady
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// MultiSourceUB solves the paper's MulticastMultiSource-UB program
+// (Section 5.2.3): a scatter-like multicast in which an ordered list of
+// intermediate sources {s_0 = Psource, s_1, ..., s_l} relays full
+// copies of the message. Each intermediate source s_i must receive the
+// entire message from strictly earlier sources (equations (1)/(2) of
+// the program; pipelining makes the ordering legal in steady state),
+// and every other target receives the entire message as a sum of
+// contributions from the intermediate sources (equations (1b)/(2b)).
+// Link occupation counts every commodity separately (equation (10)),
+// so the resulting period is achievable by an actual schedule, like
+// the plain scatter bound.
+//
+// extras lists the intermediate sources other than p.Source, in the
+// order the AUGMENTED SOURCES heuristic promoted them. With no extras
+// the program reduces to ScatterUB.
+//
+// Implementation note: the paper's edge-flow formulation carries one
+// conservation row per (origin, node) pair with a zero right-hand
+// side; at platform scale that produces a degenerate plateau that
+// wrecks a tableau simplex. Since every commodity is an
+// origin-to-destination flow, the program is solved here in its
+// equivalent path form by column generation (flow decomposition
+// equivalence, DESIGN.md Section 4.3): the master LP has one convexity
+// row per destination plus the one-port rows, and the pricing problem
+// is a cheapest path under dual-adjusted edge costs, solved by one
+// Dijkstra per origin.
+func MultiSourceUB(p Problem, extras []graph.NodeID) (*Bound, error) {
+	g := p.G
+	origins := append([]graph.NodeID{p.Source}, extras...)
+	seen := make(map[graph.NodeID]bool, len(origins))
+	for _, s := range origins {
+		if !g.Active(s) {
+			return nil, fmt.Errorf("steady: intermediate source %s is not active", g.Name(s))
+		}
+		if seen[s] {
+			return nil, errors.New("steady: duplicate intermediate source")
+		}
+		seen[s] = true
+	}
+
+	// Destinations: extra sources receive from strictly earlier origins,
+	// plain targets from any origin.
+	originIndex := make(map[graph.NodeID]int, len(origins))
+	for i, s := range origins {
+		originIndex[s] = i
+	}
+	var dests []msDest
+	for i, s := range origins[1:] {
+		dests = append(dests, msDest{node: s, maxOrigin: i + 1})
+	}
+	for _, t := range p.Targets {
+		if _, isOrigin := originIndex[t]; !isOrigin {
+			dests = append(dests, msDest{node: t, maxOrigin: len(origins)})
+		}
+	}
+	if len(dests) == 0 {
+		return &Bound{Period: 0, EdgeLoad: make([]float64, g.NumEdges())}, nil
+	}
+	// Every destination must ultimately be fed from the primary source.
+	destNodes := make([]graph.NodeID, len(dests))
+	for i, d := range dests {
+		destNodes[i] = d.node
+	}
+	if !g.ReachesAll(p.Source, destNodes) {
+		return infeasibleBound(), nil
+	}
+
+	var pool []msPath
+	poolKey := make(map[string]bool)
+	addPath := func(di int, edges []int) bool {
+		key := fmt.Sprint(di, edges)
+		if poolKey[key] {
+			return false
+		}
+		poolKey[key] = true
+		pool = append(pool, msPath{dest: di, edges: append([]int(nil), edges...)})
+		return true
+	}
+	// Initial columns: a cheapest path from the primary source to each
+	// destination (origin 0 is allowed for every destination).
+	_, parent := g.ShortestPaths(p.Source, graph.CostWeight)
+	for di, d := range dests {
+		addPath(di, g.WalkBack(parent, d.node))
+	}
+
+	const maxRounds = 400
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, errors.New("steady: MultiSourceUB column generation did not converge")
+		}
+		period, loads, mu, alpha, beta, err := solveMSMaster(g, dests, pool)
+		if err != nil {
+			return nil, err
+		}
+		// Pricing: a path for destination d enters if its dual-adjusted
+		// cost sum c(e)*(beta(tail) + alpha(head)) undercuts the
+		// destination's convexity dual mu.
+		w := func(e graph.Edge) float64 {
+			d := beta[e.From] + alpha[e.To]
+			if d < 0 {
+				d = 0
+			}
+			return e.Cost * d
+		}
+		dist := make([][]float64, len(origins))
+		par := make([][]int, len(origins))
+		for j, s := range origins {
+			dist[j], par[j] = g.ShortestPaths(s, w)
+		}
+		improved := false
+		for di, d := range dests {
+			bestJ, bestCost := -1, math.Inf(1)
+			for j := 0; j < d.maxOrigin; j++ {
+				if c := dist[j][d.node]; c < bestCost {
+					bestJ, bestCost = j, c
+				}
+			}
+			if bestJ >= 0 && bestCost < mu[di]-1e-9*(1+math.Abs(mu[di])) {
+				if addPath(di, g.WalkBack(par[bestJ], d.node)) {
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return &Bound{Period: period, EdgeLoad: loads, Rounds: round + 1}, nil
+		}
+	}
+}
+
+type msDest struct {
+	node      graph.NodeID
+	maxOrigin int
+}
+
+type msPath struct {
+	dest  int
+	edges []int
+}
+
+// solveMSMaster solves the restricted path master in
+// throughput-normalised form: maximise rho subject to one convexity
+// row per destination (its paths' rates sum to rho) and the one-port
+// occupation rows (<= 1). It returns the period 1/rho, the per-edge
+// per-multicast loads, the convexity duals mu (sign-adjusted so that a
+// path prices in when its dual-weighted cost undercuts mu), and the
+// non-negative port duals alpha (receive side) and beta (send side).
+func solveMSMaster(g *graph.Graph, dests []msDest, pool []msPath) (float64, []float64, []float64, []float64, []float64, error) {
+	m := lp.NewModel()
+	m.Maximize()
+	rhoVar := m.AddVar(1, "rho")
+	yVar := make([]int, len(pool))
+	for i := range pool {
+		yVar[i] = m.AddVar(0, fmt.Sprintf("y%d", i))
+	}
+	coverRow := make([]int, len(dests))
+	coverTerms := make([][]lp.Term, len(dests))
+	inTerms := make(map[graph.NodeID][]lp.Term)
+	outTerms := make(map[graph.NodeID][]lp.Term)
+	for i, pth := range pool {
+		coverTerms[pth.dest] = append(coverTerms[pth.dest], lp.Term{Var: yVar[i], Coef: 1})
+		for _, id := range pth.edges {
+			e := g.Edge(id)
+			outTerms[e.From] = append(outTerms[e.From], lp.Term{Var: yVar[i], Coef: e.Cost})
+			inTerms[e.To] = append(inTerms[e.To], lp.Term{Var: yVar[i], Coef: e.Cost})
+		}
+	}
+	for di := range dests {
+		terms := append(coverTerms[di], lp.Term{Var: rhoVar, Coef: -1})
+		coverRow[di] = m.AddRow(lp.EQ, 0, terms...)
+	}
+	inRow := make(map[graph.NodeID]int)
+	outRow := make(map[graph.NodeID]int)
+	for _, v := range g.ActiveNodes() {
+		if terms := inTerms[v]; len(terms) > 0 {
+			inRow[v] = m.AddRow(lp.LE, 1, terms...)
+		}
+		if terms := outTerms[v]; len(terms) > 0 {
+			outRow[v] = m.AddRow(lp.LE, 1, terms...)
+		}
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		return 0, nil, nil, nil, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, nil, nil, nil, fmt.Errorf("steady: MultiSourceUB master: unexpected LP status %v", sol.Status)
+	}
+	rho := sol.X[rhoVar]
+	if rho <= cutTol {
+		return 0, nil, nil, nil, nil, errors.New("steady: MultiSourceUB: zero throughput on a reachable instance")
+	}
+	loads := make([]float64, g.NumEdges())
+	for i, pth := range pool {
+		y := math.Max(0, sol.X[yVar[i]]) / rho
+		for _, id := range pth.edges {
+			loads[id] += y
+		}
+	}
+	// For the max model, a path column for destination d prices in when
+	// sum c(e)*(alpha+beta) < -dual(cover_d); expose mu = -dual so the
+	// caller's test reads "path cost < mu".
+	mu := make([]float64, len(dests))
+	for di := range dests {
+		mu[di] = -sol.Dual[coverRow[di]]
+	}
+	alpha := make([]float64, g.NumNodes())
+	beta := make([]float64, g.NumNodes())
+	for v, r := range inRow {
+		alpha[v] = math.Max(0, sol.Dual[r])
+	}
+	for v, r := range outRow {
+		beta[v] = math.Max(0, sol.Dual[r])
+	}
+	return 1 / rho, loads, mu, alpha, beta, nil
+}

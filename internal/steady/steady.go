@@ -1,0 +1,486 @@
+// Package steady implements the steady-state throughput programs of
+// RR-5123: the scatter relaxation Multicast-UB, the optimistic bound
+// Multicast-LB, the broadcast program Broadcast-EB, and the multi-source
+// program MulticastMultiSource-UB.
+//
+// All programs reason about one unit-size multicast: they minimise the
+// period T needed per message, so the steady-state throughput is 1/T.
+// The paper writes these programs with one flow variable per (target,
+// edge) pair, which is correct but large; this package solves provably
+// equivalent compact forms (see DESIGN.md Section 4):
+//
+//   - Multicast-UB: per-target unit flows coupled by n(e) = sum_i x^i(e)
+//     aggregate into a single source-to-targets flow (flow decomposition
+//     theorem), giving an LP with one variable per edge.
+//   - Multicast-LB: with n(e) = max_i x^i(e), feasibility of n is "every
+//     source->target cut has capacity >= 1" (max-flow/min-cut), giving a
+//     small LP over n solved by cutting planes with Dinic separation.
+//   - Broadcast-EB is Multicast-LB with every node as a target; the
+//     paper proves this bound is achievable for broadcast, so it is the
+//     exact broadcast period.
+//   - MulticastMultiSource-UB aggregates commodities per origin.
+package steady
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// cutTol is the violation tolerance of the cutting-plane separation.
+const cutTol = 1e-7
+
+// Problem is a Series-of-Multicasts instance.
+type Problem struct {
+	G       *graph.Graph
+	Source  graph.NodeID
+	Targets []graph.NodeID
+}
+
+// NewProblem validates and builds a Problem. The source must be active
+// and must not belong to the target set; targets must be active,
+// non-empty and distinct.
+func NewProblem(g *graph.Graph, source graph.NodeID, targets []graph.NodeID) (Problem, error) {
+	if !g.Active(source) {
+		return Problem{}, errors.New("steady: source is not active")
+	}
+	if len(targets) == 0 {
+		return Problem{}, errors.New("steady: no targets")
+	}
+	seen := make(map[graph.NodeID]bool, len(targets))
+	for _, t := range targets {
+		if t == source {
+			return Problem{}, errors.New("steady: source cannot be a target")
+		}
+		if !g.Active(t) {
+			return Problem{}, fmt.Errorf("steady: target %s is not active", g.Name(t))
+		}
+		if seen[t] {
+			return Problem{}, fmt.Errorf("steady: duplicate target %s", g.Name(t))
+		}
+		seen[t] = true
+	}
+	return Problem{G: g, Source: source, Targets: append([]graph.NodeID(nil), targets...)}, nil
+}
+
+// Bound is the outcome of one of the steady-state programs. A Period of
+// +Inf means the instance is infeasible (some target unreachable), as in
+// the paper's convention Broadcast-EB(P \ Pm) = +Inf.
+type Bound struct {
+	// Period is the optimal T*: time needed per unit-size multicast.
+	Period float64
+	// EdgeLoad is the per-edge message load n(e) per multicast (indexed
+	// by edge ID; nil when Period is infinite).
+	EdgeLoad []float64
+	// Rounds counts cutting-plane iterations (Multicast-LB only).
+	Rounds int
+	// Cuts counts generated cut constraints (Multicast-LB only).
+	Cuts int
+}
+
+// Throughput returns 1/Period (0 for an infeasible instance).
+func (b *Bound) Throughput() float64 {
+	if b == nil || math.IsInf(b.Period, 1) || b.Period <= 0 {
+		return 0
+	}
+	return 1 / b.Period
+}
+
+// Infeasible reports whether the bound denotes an unreachable target
+// set.
+func (b *Bound) Infeasible() bool { return math.IsInf(b.Period, 1) }
+
+func infeasibleBound() *Bound { return &Bound{Period: math.Inf(1)} }
+
+// All programs are solved in throughput-normalised form: flows are
+// expressed per unit of time, the one-port occupation of every port is
+// bounded by 1, and the objective maximises the throughput rho (the
+// paper's period is recovered as T = 1/rho, and its per-multicast
+// loads as load/rho). The normalised form is numerically crucial: the
+// direct "minimise T" form has only zero right-hand sides, which
+// strands the tableau simplex on enormous degenerate plateaus, while
+// in this form the origin is a feasible basis and ratio tests are
+// non-degenerate.
+
+// addPortRows adds the normalised one-port occupation constraints
+// sum_{e in in(v)} c(e) x(e) <= 1 and the symmetric out-port rows for
+// every active node, where xVar maps edge IDs to LP variables.
+func addPortRows(m *lp.Model, g *graph.Graph, xVar map[int]int) {
+	var buf []int
+	for _, v := range g.ActiveNodes() {
+		buf = g.InEdges(v, buf[:0])
+		if len(buf) > 0 {
+			terms := make([]lp.Term, 0, len(buf))
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: xVar[id], Coef: g.Edge(id).Cost})
+			}
+			m.AddRow(lp.LE, 1, terms...)
+		}
+		buf = g.OutEdges(v, buf[:0])
+		if len(buf) > 0 {
+			terms := make([]lp.Term, 0, len(buf))
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: xVar[id], Coef: g.Edge(id).Cost})
+			}
+			m.AddRow(lp.LE, 1, terms...)
+		}
+	}
+}
+
+// ScatterUB solves the paper's Multicast-UB program: the pessimistic
+// relaxation in which the messages bound for distinct targets are
+// counted separately on every link (a scatter). Its period is an upper
+// bound on the optimal multicast period, and the bound is achievable
+// (Section 5.1.2 of the paper).
+func ScatterUB(p Problem) (*Bound, error) {
+	g := p.G
+	if !g.ReachesAll(p.Source, p.Targets) {
+		return infeasibleBound(), nil
+	}
+	m := lp.NewModel()
+	m.Maximize()
+	rhoVar := m.AddVar(1, "rho")
+	edges := g.ActiveEdges()
+	fVar := make(map[int]int, len(edges))
+	for _, id := range edges {
+		e := g.Edge(id)
+		fVar[id] = m.AddVar(0, fmt.Sprintf("f_%s_%s", g.Name(e.From), g.Name(e.To)))
+	}
+	isTarget := make(map[graph.NodeID]bool, len(p.Targets))
+	for _, t := range p.Targets {
+		isTarget[t] = true
+	}
+	// Flow conservation per unit time: net outflow = +N*rho at the
+	// source, -rho at targets.
+	var buf []int
+	for _, v := range g.ActiveNodes() {
+		var terms []lp.Term
+		buf = g.OutEdges(v, buf[:0])
+		for _, id := range buf {
+			terms = append(terms, lp.Term{Var: fVar[id], Coef: 1})
+		}
+		buf = g.InEdges(v, buf[:0])
+		for _, id := range buf {
+			terms = append(terms, lp.Term{Var: fVar[id], Coef: -1})
+		}
+		switch {
+		case v == p.Source:
+			terms = append(terms, lp.Term{Var: rhoVar, Coef: -float64(len(p.Targets))})
+		case isTarget[v]:
+			terms = append(terms, lp.Term{Var: rhoVar, Coef: 1})
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		m.AddRow(lp.EQ, 0, terms...)
+	}
+	addPortRows(m, g, fVar)
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("steady: ScatterUB: unexpected LP status %v", sol.Status)
+	}
+	rho := sol.X[rhoVar]
+	if rho <= cutTol {
+		return nil, errors.New("steady: ScatterUB: zero throughput on a reachable instance")
+	}
+	load := make([]float64, g.NumEdges())
+	for id, v := range fVar {
+		load[id] = math.Max(0, sol.X[v]) / rho
+	}
+	return &Bound{Period: 1 / rho, EdgeLoad: load}, nil
+}
+
+// MulticastLB solves the paper's Multicast-LB program: the optimistic
+// relaxation in which messages bound for distinct targets may share
+// links for free (n(e) = max_i x^i(e)). Its period is a lower bound on
+// the optimal multicast period, not achievable in general (Figure 4).
+//
+// Two equivalent formulations are used depending on the target count.
+// Sparse target sets use the paper's direct per-target formulation
+// (polynomial but |targets|*|edges| variables); dense sets use the
+// cut-covering master with min-cut separation, which is tiny and
+// converges quickly when most nodes are targets but wanders through
+// near-duplicate cuts when they are sparse. Both were cross-validated
+// to produce identical values.
+func MulticastLB(p Problem) (*Bound, error) {
+	g := p.G
+	if !g.ReachesAll(p.Source, p.Targets) {
+		return infeasibleBound(), nil
+	}
+	// Estimated direct-formulation row count; below the cap the direct
+	// LP is cheap and immune to cut thrashing.
+	nodes := g.NumActive()
+	arcs := len(g.ActiveEdges())
+	if len(p.Targets)*(nodes+arcs)+2*nodes <= 4600 {
+		return multicastLBDirect(p)
+	}
+	return multicastLBCuts(p)
+}
+
+// multicastLBCuts solves Multicast-LB by cut-covering with min-cut
+// separation (the dense-target regime of MulticastLB).
+func multicastLBCuts(p Problem) (*Bound, error) {
+	g := p.G
+	if !g.ReachesAll(p.Source, p.Targets) {
+		return infeasibleBound(), nil
+	}
+	// Normalise the edge costs for conditioning: with c <= 1 the
+	// optimal rho is O(1) instead of O(1/maxCost).
+	scale := g.MaxCost()
+	if scale <= 0 {
+		return infeasibleBound(), nil
+	}
+
+	edges := g.ActiveEdges()
+	var cuts [][]int
+	seen := make(map[string]bool)
+	addCut := func(cut []int) bool {
+		if len(cut) == 0 {
+			return false
+		}
+		key := cutKey(cut)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		cuts = append(cuts, append([]int(nil), cut...))
+		return true
+	}
+	// Seed with the trivial cuts (the source's out-edges, each target's
+	// in-edges) and with the hop-distance layer cuts around every
+	// target: S_k = {v : hopdist(v -> t) > k} is a valid source-target
+	// separator for every k below the source's distance. Without the
+	// layer seeds the separation peels these one per round ("onion
+	// peeling"), the textbook slow mode of Kelley cutting planes.
+	addCut(g.OutEdges(p.Source, nil))
+	for _, t := range p.Targets {
+		addCut(g.InEdges(t, nil))
+		for _, cut := range layerCuts(g, p.Source, t) {
+			addCut(cut)
+		}
+	}
+
+	bound := &Bound{}
+	capacity := make([]float64, g.NumEdges())
+	const maxRounds = 500
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, errors.New("steady: MulticastLB cutting plane did not converge")
+		}
+		rho, loads, err := solveLBMaster(g, edges, cuts, scale)
+		if err != nil {
+			return nil, err
+		}
+		bound.Rounds = round + 1
+		if rho <= cutTol {
+			return nil, errors.New("steady: MulticastLB: zero throughput on a reachable instance")
+		}
+		copy(capacity, loads)
+		violated := false
+		for _, t := range p.Targets {
+			value, _, cut := flow.MinCut(g, capacity, p.Source, t)
+			if value < rho*(1-cutTol) {
+				if len(cut) == 0 {
+					// No crossing edge at all: the target is unreachable.
+					return infeasibleBound(), nil
+				}
+				if addCut(cut) {
+					violated = true
+				}
+			}
+		}
+		if !violated {
+			// Report the paper's per-multicast quantities; rho is per
+			// *scaled* time unit, so the true period is scale/rho.
+			for i := range capacity {
+				capacity[i] /= rho
+			}
+			bound.Period = scale / rho
+			bound.EdgeLoad = capacity
+			bound.Cuts = len(seen)
+			return bound, nil
+		}
+	}
+}
+
+// solveLBMaster solves the cut-covering master: maximise rho subject
+// to the scaled one-port rows and the current cut set.
+func solveLBMaster(g *graph.Graph, edges []int, cuts [][]int, scale float64) (float64, []float64, error) {
+	m := lp.NewModel()
+	m.Maximize()
+	rhoVar := m.AddVar(1, "rho")
+	nVar := make(map[int]int, len(edges))
+	for _, id := range edges {
+		nVar[id] = m.AddVar(0, "")
+	}
+	var buf []int
+	for _, v := range g.ActiveNodes() {
+		for _, in := range []bool{true, false} {
+			if in {
+				buf = g.InEdges(v, buf[:0])
+			} else {
+				buf = g.OutEdges(v, buf[:0])
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			terms := make([]lp.Term, 0, len(buf))
+			for _, id := range buf {
+				terms = append(terms, lp.Term{Var: nVar[id], Coef: g.Edge(id).Cost / scale})
+			}
+			m.AddRow(lp.LE, 1, terms...)
+		}
+	}
+	for _, cut := range cuts {
+		terms := make([]lp.Term, 0, len(cut)+1)
+		for _, id := range cut {
+			terms = append(terms, lp.Term{Var: nVar[id], Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: rhoVar, Coef: -1})
+		m.AddRow(lp.GE, 0, terms...)
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		return 0, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("steady: MulticastLB: unexpected LP status %v", sol.Status)
+	}
+	rho := sol.X[rhoVar]
+	loads := make([]float64, g.NumEdges())
+	for id, v := range nVar {
+		loads[id] = math.Max(0, sol.X[v])
+	}
+	return rho, loads, nil
+}
+
+// layerCuts returns the hop-distance layer cuts between source and
+// target: for each k in [0, hopdist(source -> t)), the edges crossing
+// from {v : hopdist(v -> t) > k} into the rest. Nodes that cannot reach
+// t at all count as infinitely far (source side).
+func layerCuts(g *graph.Graph, source, t graph.NodeID) [][]int {
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[t] = 0
+	queue := []graph.NodeID{t}
+	var buf []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		buf = g.InEdges(v, buf[:0])
+		for _, id := range buf {
+			from := g.Edge(id).From
+			if dist[from] == inf {
+				dist[from] = dist[v] + 1
+				queue = append(queue, from)
+			}
+		}
+	}
+	if dist[source] == inf {
+		return nil
+	}
+	cuts := make([][]int, 0, dist[source])
+	for k := 0; k < dist[source]; k++ {
+		var cut []int
+		for _, id := range g.ActiveEdges() {
+			e := g.Edge(id)
+			if dist[e.From] > k && dist[e.To] <= k {
+				cut = append(cut, id)
+			}
+		}
+		if len(cut) > 0 {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+func cutKey(cut []int) string {
+	s := append([]int(nil), cut...)
+	sort.Ints(s)
+	var sb strings.Builder
+	for _, id := range s {
+		sb.WriteString(strconv.Itoa(id))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// BroadcastEB computes the optimal steady-state broadcast period on the
+// active part of g: Multicast-LB with every active node (except the
+// source) as a target. The paper (with [6, 5]) proves this bound is
+// achieved by an actual broadcast schedule, so the returned period is
+// exact. If some active node is unreachable the result is +Inf, the
+// convention used by the REDUCED BROADCAST heuristic.
+func BroadcastEB(g *graph.Graph, source graph.NodeID) (*Bound, error) {
+	if !g.Active(source) {
+		return infeasibleBound(), nil
+	}
+	var targets []graph.NodeID
+	for _, v := range g.ActiveNodes() {
+		if v != source {
+			targets = append(targets, v)
+		}
+	}
+	if len(targets) == 0 {
+		return &Bound{Period: 0, EdgeLoad: make([]float64, g.NumEdges())}, nil
+	}
+	p, err := NewProblem(g, source, targets)
+	if err != nil {
+		return nil, err
+	}
+	return MulticastLB(p)
+}
+
+// RecoverUnitFlows reconstructs the per-target variables x^i of the
+// paper's LPs from a load profile: for every target it returns a unit
+// s->target flow supported by load (per-edge capacities). Targets whose
+// max-flow falls short of one unit (possible only through numerical
+// noise) are returned with their maximum flow instead.
+func RecoverUnitFlows(g *graph.Graph, load []float64, source graph.NodeID, targets []graph.NodeID) map[graph.NodeID][]float64 {
+	out := make(map[graph.NodeID][]float64, len(targets))
+	for _, t := range targets {
+		_, f := flow.MaxFlowUpTo(g, load, source, t, 1)
+		out[t] = f
+	}
+	return out
+}
+
+// InflowAt returns the total per-target traffic entering node m:
+// sum_i sum_{Pj in N^in(Pm)} x^{j,m}_i, the quantity the paper's
+// LP-based heuristics sort candidate nodes by.
+func InflowAt(g *graph.Graph, perTarget map[graph.NodeID][]float64, m graph.NodeID) float64 {
+	total := 0.0
+	var buf []int
+	buf = g.InEdges(m, buf)
+	for _, f := range perTarget {
+		for _, id := range buf {
+			total += f[id]
+		}
+	}
+	return total
+}
+
+// AggregateInflowAt returns the load entering node m under an aggregate
+// edge-load profile (used with scatter-like solutions, where the
+// aggregate equals the per-target sum).
+func AggregateInflowAt(g *graph.Graph, load []float64, m graph.NodeID) float64 {
+	total := 0.0
+	for _, id := range g.InEdges(m, nil) {
+		total += load[id]
+	}
+	return total
+}

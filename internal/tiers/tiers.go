@@ -1,0 +1,165 @@
+// Package tiers generates random hierarchical network topologies in the
+// style of the Tiers generator (Calvert, Doar, Zegura) that the paper
+// uses for its simulation study: a WAN core, MAN rings hanging off it,
+// and LAN hosts at the edge, with per-level link speeds. The paper's
+// experiments draw multicast targets uniformly among the LAN hosts.
+//
+// The original Tiers tool is not redistributable here; this generator
+// reproduces the statistical shape the experiments need — sparse
+// hierarchical connectivity and heterogeneous per-level costs — with
+// deterministic seeding (see DESIGN.md, substitutions table).
+package tiers
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config parameterises a generated platform. Costs are the time to
+// transfer one unit-size message over a link of that level, drawn
+// uniformly from the given [min, max] interval; every physical link is
+// full duplex (two directed edges of equal cost).
+type Config struct {
+	Seed          int64
+	WANNodes      int
+	MANs          int
+	MANNodes      int // nodes per MAN
+	LANHosts      int // total LAN hosts, spread over the MAN nodes
+	ExtraWANLinks int // redundancy links beyond the WAN spanning tree
+	ExtraMANLinks int // redundancy links per MAN
+
+	WANCost    [2]float64
+	MANCost    [2]float64
+	UplinkCost [2]float64 // MAN gateway <-> WAN
+	LANCost    [2]float64 // host <-> MAN node
+}
+
+// Small is the paper's "small" platform type: 30 nodes, 17 of them LAN
+// hosts.
+func Small(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		WANNodes: 4, MANs: 3, MANNodes: 3, LANHosts: 17,
+		ExtraWANLinks: 2, ExtraMANLinks: 1,
+		WANCost:    [2]float64{10, 60},
+		MANCost:    [2]float64{20, 120},
+		UplinkCost: [2]float64{40, 200},
+		LANCost:    [2]float64{10, 40},
+	}
+}
+
+// Big is the paper's "big" platform type: 65 nodes, 47 of them LAN
+// hosts.
+func Big(seed int64) Config {
+	cfg := Small(seed)
+	cfg.WANNodes, cfg.MANs, cfg.MANNodes, cfg.LANHosts = 6, 4, 3, 47
+	return cfg
+}
+
+// Platform is a generated hierarchical topology.
+type Platform struct {
+	G      *graph.Graph
+	Source graph.NodeID // a WAN core node, as in the paper's Figure 12
+	WAN    []graph.NodeID
+	MAN    []graph.NodeID
+	LAN    []graph.NodeID
+}
+
+// Generate builds the platform for the given configuration. The same
+// configuration (including seed) always yields the same platform.
+func Generate(cfg Config) (*Platform, error) {
+	if cfg.WANNodes < 1 || cfg.MANs < 0 || cfg.MANNodes < 1 && cfg.MANs > 0 || cfg.LANHosts < 0 {
+		return nil, fmt.Errorf("tiers: invalid shape %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cost := func(r [2]float64) float64 {
+		if r[1] <= r[0] {
+			return r[0]
+		}
+		return r[0] + rng.Float64()*(r[1]-r[0])
+	}
+	g := graph.New()
+	p := &Platform{G: g}
+
+	for i := 0; i < cfg.WANNodes; i++ {
+		p.WAN = append(p.WAN, g.AddNode(fmt.Sprintf("wan%d", i)))
+	}
+	// WAN: random spanning tree plus redundancy.
+	for i := 1; i < len(p.WAN); i++ {
+		g.AddLink(p.WAN[rng.Intn(i)], p.WAN[i], cost(cfg.WANCost))
+	}
+	addExtra(g, rng, p.WAN, cfg.ExtraWANLinks, func() float64 { return cost(cfg.WANCost) })
+
+	// MANs: random trees, gateways uplinked to random WAN nodes.
+	for m := 0; m < cfg.MANs; m++ {
+		var man []graph.NodeID
+		for i := 0; i < cfg.MANNodes; i++ {
+			man = append(man, g.AddNode(fmt.Sprintf("man%d_%d", m, i)))
+		}
+		for i := 1; i < len(man); i++ {
+			g.AddLink(man[rng.Intn(i)], man[i], cost(cfg.MANCost))
+		}
+		addExtra(g, rng, man, cfg.ExtraMANLinks, func() float64 { return cost(cfg.MANCost) })
+		g.AddLink(man[0], p.WAN[rng.Intn(len(p.WAN))], cost(cfg.UplinkCost))
+		p.MAN = append(p.MAN, man...)
+	}
+
+	// LAN hosts: stars around the MAN nodes (or the WAN when no MANs).
+	attach := p.MAN
+	if len(attach) == 0 {
+		attach = p.WAN
+	}
+	for i := 0; i < cfg.LANHosts; i++ {
+		host := g.AddNode(fmt.Sprintf("lan%d", i))
+		g.AddLink(attach[rng.Intn(len(attach))], host, cost(cfg.LANCost))
+		p.LAN = append(p.LAN, host)
+	}
+
+	p.Source = p.WAN[0]
+	return p, nil
+}
+
+// addExtra inserts up to n redundancy links between distinct random
+// nodes that are not yet directly connected.
+func addExtra(g *graph.Graph, rng *rand.Rand, nodes []graph.NodeID, n int, cost func() float64) {
+	if len(nodes) < 2 {
+		return
+	}
+	for added, attempts := 0, 0; added < n && attempts < 20*n+20; attempts++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		if a == b {
+			continue
+		}
+		if _, dup := g.FindEdge(a, b); dup {
+			continue
+		}
+		g.AddLink(a, b, cost())
+		added++
+	}
+}
+
+// RandomTargets draws a multicast target set of the given density from
+// the LAN hosts: max(1, round(density*|LAN|)) distinct hosts. The rng
+// lets callers draw several target sets from one platform, as the
+// paper's Figure 11 sweep does.
+func (p *Platform) RandomTargets(rng *rand.Rand, density float64) []graph.NodeID {
+	if len(p.LAN) == 0 {
+		return nil
+	}
+	n := int(density*float64(len(p.LAN)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p.LAN) {
+		n = len(p.LAN)
+	}
+	perm := rng.Perm(len(p.LAN))
+	targets := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		targets[i] = p.LAN[perm[i]]
+	}
+	return targets
+}

@@ -1,0 +1,121 @@
+package tiers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSmallShape(t *testing.T) {
+	p, err := Generate(Small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.G.NumNodes(); got != 30 {
+		t.Errorf("small platform has %d nodes, want 30", got)
+	}
+	if got := len(p.LAN); got != 17 {
+		t.Errorf("small platform has %d LAN hosts, want 17", got)
+	}
+}
+
+func TestBigShape(t *testing.T) {
+	p, err := Generate(Big(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.G.NumNodes(); got != 65 {
+		t.Errorf("big platform has %d nodes, want 65", got)
+	}
+	if got := len(p.LAN); got != 47 {
+		t.Errorf("big platform has %d LAN hosts, want 47", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.String() != b.G.String() {
+		t.Fatal("same seed produced different platforms")
+	}
+	c, err := Generate(Small(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.String() == c.G.String() {
+		t.Fatal("different seeds produced identical platforms")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	cfg := Small(1)
+	cfg.WANNodes = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRandomTargets(t *testing.T) {
+	p, err := Generate(Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := len(p.RandomTargets(rng, 0)); got != 1 {
+		t.Errorf("density 0 -> %d targets, want 1 (minimum)", got)
+	}
+	if got := len(p.RandomTargets(rng, 1)); got != len(p.LAN) {
+		t.Errorf("density 1 -> %d targets, want %d", got, len(p.LAN))
+	}
+	half := p.RandomTargets(rng, 0.5)
+	if len(half) != 9 { // round(0.5 * 17)
+		t.Errorf("density .5 -> %d targets, want 9", len(half))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range half {
+		if seen[v] {
+			t.Fatal("duplicate target")
+		}
+		seen[v] = true
+	}
+}
+
+// Property: generated platforms are strongly usable for the experiment:
+// every node is reachable from the source (links are full duplex) and
+// edge costs respect the configured level ranges.
+func TestGenerateProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Small(seed)
+		p, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		seen := p.G.Reachable(p.Source)
+		for _, v := range p.G.ActiveNodes() {
+			if !seen[v] {
+				t.Logf("seed %d: node %s unreachable", seed, p.G.Name(v))
+				return false
+			}
+		}
+		lo, hi := cfg.LANCost[0], cfg.UplinkCost[1]
+		for _, id := range p.G.ActiveEdges() {
+			c := p.G.Edge(id).Cost
+			if c < lo-1e-9 || c > hi+1e-9 {
+				t.Logf("seed %d: cost %v outside [%v, %v]", seed, c, lo, hi)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

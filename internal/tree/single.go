@@ -1,0 +1,167 @@
+package tree
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// MaxSearchEdges bounds the instance size accepted by BestSingleTree.
+// The search is exponential in the worst case (Theorem 1 proves the
+// problem NP-hard even for a single tree), so it is restricted to small
+// platforms.
+const MaxSearchEdges = 64
+
+// ErrTooLarge is returned by the exact solvers when the instance
+// exceeds their exponential-search guards.
+var ErrTooLarge = errors.New("tree: instance too large for exact search")
+
+// BestSingleTree finds the multicast tree with the minimum one-port
+// period (equivalently, maximum single-tree steady-state throughput) by
+// branch-and-bound over arborescences. This is the exact optimum of
+// COMPACT-MULTICAST with S = 2 (one tree allowed); the paper proves the
+// problem NP-hard, so the search is exponential and guarded by
+// MaxSearchEdges. Returns the best tree and its period, or an error if
+// the targets are unreachable.
+func BestSingleTree(g *graph.Graph, source graph.NodeID, targets []graph.NodeID) (*Tree, float64, error) {
+	edges := g.ActiveEdges()
+	if len(edges) > MaxSearchEdges {
+		return nil, 0, ErrTooLarge
+	}
+	if !g.ReachesAll(source, targets) {
+		return nil, 0, errors.New("tree: some target unreachable from the source")
+	}
+	isTarget := make([]bool, g.NumNodes())
+	remaining := 0
+	for _, t := range targets {
+		if t != source && !isTarget[t] {
+			isTarget[t] = true
+			remaining++
+		}
+	}
+
+	s := &singleSearch{
+		g:        g,
+		source:   source,
+		isTarget: isTarget,
+		excluded: make([]bool, g.NumEdges()),
+		inTree:   make([]bool, g.NumNodes()),
+		send:     make([]float64, g.NumNodes()),
+		best:     math.Inf(1),
+	}
+	s.inTree[source] = true
+	s.recurse(remaining, 0)
+	if math.IsInf(s.best, 1) {
+		return nil, 0, errors.New("tree: no covering tree found")
+	}
+	t := &Tree{Root: source, Edges: append([]int(nil), s.bestEdges...)}
+	t.Prune(g, targets)
+	return t, s.best, nil
+}
+
+type singleSearch struct {
+	g         *graph.Graph
+	source    graph.NodeID
+	isTarget  []bool
+	excluded  []bool
+	inTree    []bool
+	send      []float64
+	stack     []int // edges of the current partial tree
+	best      float64
+	bestEdges []int
+}
+
+// frontier returns the smallest-ID usable edge from the current tree to
+// a node outside it, or -1.
+func (s *singleSearch) frontier() int {
+	best := -1
+	var buf []int
+	for v, in := range s.inTree {
+		if !in {
+			continue
+		}
+		buf = s.g.OutEdges(graph.NodeID(v), buf[:0])
+		for _, id := range buf {
+			if !s.excluded[id] && !s.inTree[s.g.Edge(id).To] && (best < 0 || id < best) {
+				best = id
+			}
+		}
+	}
+	return best
+}
+
+// coverable reports whether every remaining target is still reachable
+// from the current tree through non-excluded edges.
+func (s *singleSearch) coverable(remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	seen := make([]bool, s.g.NumNodes())
+	var stack []graph.NodeID
+	for v, in := range s.inTree {
+		if in {
+			seen[v] = true
+			stack = append(stack, graph.NodeID(v))
+		}
+	}
+	found := 0
+	var buf []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = s.g.OutEdges(v, buf[:0])
+		for _, id := range buf {
+			to := s.g.Edge(id).To
+			if s.excluded[id] || seen[to] {
+				continue
+			}
+			seen[to] = true
+			if s.isTarget[to] && !s.inTree[to] {
+				if found++; found == remaining {
+					return true
+				}
+			}
+			stack = append(stack, to)
+		}
+	}
+	return false
+}
+
+func (s *singleSearch) recurse(remaining int, period float64) {
+	if period >= s.best-1e-12 {
+		return
+	}
+	if remaining == 0 {
+		s.best = period
+		s.bestEdges = append(s.bestEdges[:0], s.stack...)
+		return
+	}
+	if !s.coverable(remaining) {
+		return
+	}
+	id := s.frontier()
+	if id < 0 {
+		return
+	}
+	e := s.g.Edge(id)
+
+	// Branch 1: include the edge.
+	s.send[e.From] += e.Cost
+	s.inTree[e.To] = true
+	s.stack = append(s.stack, id)
+	newPeriod := math.Max(period, math.Max(s.send[e.From], e.Cost))
+	rem := remaining
+	if s.isTarget[e.To] {
+		rem--
+	}
+	s.recurse(rem, newPeriod)
+	s.stack = s.stack[:len(s.stack)-1]
+	s.inTree[e.To] = false
+	s.send[e.From] -= e.Cost
+
+	// Branch 2: exclude it permanently.
+	s.excluded[id] = true
+	s.recurse(remaining, period)
+	s.excluded[id] = false
+}

@@ -1,0 +1,209 @@
+// Package tree implements multicast trees and the exact solvers built
+// on them: the one-port period metric, an exhaustive best-single-tree
+// search (the COMPACT-MULTICAST optimum for S = 2), an exact directed
+// Steiner arborescence solver, and the weighted tree-packing linear
+// program of Theorem 4 solved by column generation, which yields the
+// true optimal steady-state multicast throughput on small instances.
+//
+// Everything in this package is exponential in the number of targets or
+// edges — necessarily so, since the paper proves these problems
+// NP-hard — and is meant for small instances and as a test oracle for
+// the polynomial heuristics in internal/heur.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Tree is a multicast arborescence: a set of edges forming a tree
+// rooted at Root in which every tree node other than the root has
+// exactly one parent.
+type Tree struct {
+	Root  graph.NodeID
+	Edges []int // platform edge IDs
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	return &Tree{Root: t.Root, Edges: append([]int(nil), t.Edges...)}
+}
+
+// Nodes returns the set of nodes touched by the tree (root included)
+// as a mask indexed by NodeID.
+func (t *Tree) Nodes(g *graph.Graph) []bool {
+	in := make([]bool, g.NumNodes())
+	in[t.Root] = true
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		in[e.From] = true
+		in[e.To] = true
+	}
+	return in
+}
+
+// Parent returns, for every node, the edge ID leading to it in the
+// tree, or -1 (for the root and for nodes outside the tree).
+func (t *Tree) Parent(g *graph.Graph) []int {
+	parent := make([]int, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	for _, id := range t.Edges {
+		parent[g.Edge(id).To] = id
+	}
+	return parent
+}
+
+// Children returns, for every node, the IDs of its child edges in the
+// tree, ordered by edge ID.
+func (t *Tree) Children(g *graph.Graph) [][]int {
+	ch := make([][]int, g.NumNodes())
+	edges := append([]int(nil), t.Edges...)
+	sort.Ints(edges)
+	for _, id := range edges {
+		e := g.Edge(id)
+		ch[e.From] = append(ch[e.From], id)
+	}
+	return ch
+}
+
+// Validate checks that t is an arborescence rooted at source covering
+// every target, made of active edges of g.
+func (t *Tree) Validate(g *graph.Graph, source graph.NodeID, targets []graph.NodeID) error {
+	if t.Root != source {
+		return fmt.Errorf("tree: root %s is not the source %s", g.Name(t.Root), g.Name(source))
+	}
+	parent := make(map[graph.NodeID]int, len(t.Edges))
+	for _, id := range t.Edges {
+		if !g.EdgeActive(id) {
+			return fmt.Errorf("tree: edge %d is inactive", id)
+		}
+		e := g.Edge(id)
+		if e.To == source {
+			return fmt.Errorf("tree: edge %d enters the root", id)
+		}
+		if _, dup := parent[e.To]; dup {
+			return fmt.Errorf("tree: node %s has two parents", g.Name(e.To))
+		}
+		parent[e.To] = id
+	}
+	// Every edge must hang off the root: walk up from each edge tail.
+	for _, id := range t.Edges {
+		v := g.Edge(id).From
+		steps := 0
+		for v != source {
+			up, ok := parent[v]
+			if !ok {
+				return fmt.Errorf("tree: edge %d is disconnected from the root", id)
+			}
+			v = g.Edge(up).From
+			if steps++; steps > len(t.Edges) {
+				return fmt.Errorf("tree: cycle detected")
+			}
+		}
+	}
+	in := t.Nodes(g)
+	for _, tgt := range targets {
+		if !in[tgt] {
+			return fmt.Errorf("tree: target %s not covered", g.Name(tgt))
+		}
+	}
+	return nil
+}
+
+// SendLoad returns the time node v spends sending per message: the sum
+// of its tree out-edge costs (the metric of Section 6 of the paper).
+func (t *Tree) SendLoad(g *graph.Graph, v graph.NodeID) float64 {
+	total := 0.0
+	for _, id := range t.Edges {
+		if e := g.Edge(id); e.From == v {
+			total += e.Cost
+		}
+	}
+	return total
+}
+
+// RecvLoad returns the time node v spends receiving per message: the
+// cost of its parent edge (0 for the root).
+func (t *Tree) RecvLoad(g *graph.Graph, v graph.NodeID) float64 {
+	for _, id := range t.Edges {
+		if e := g.Edge(id); e.To == v {
+			return e.Cost
+		}
+	}
+	return 0
+}
+
+// Period returns the steady-state period of the tree under the
+// one-port model: the maximum, over all tree nodes, of the send and
+// receive occupation per message. Pipelined over successive messages,
+// the tree sustains one multicast every Period time units (the K = 1
+// certificate of Theorem 1).
+func (t *Tree) Period(g *graph.Graph) float64 {
+	send := make(map[graph.NodeID]float64)
+	period := 0.0
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		send[e.From] += e.Cost
+		if e.Cost > period {
+			period = e.Cost // receive occupation of e.To
+		}
+	}
+	for _, s := range send {
+		if s > period {
+			period = s
+		}
+	}
+	return period
+}
+
+// Throughput returns 1/Period (0 for an empty tree).
+func (t *Tree) Throughput(g *graph.Graph) float64 {
+	p := t.Period(g)
+	if p <= 0 {
+		return 0
+	}
+	return 1 / p
+}
+
+// Cost returns the total weight of the tree under w (the Steiner
+// objective).
+func (t *Tree) Cost(g *graph.Graph, w graph.WeightFunc) float64 {
+	total := 0.0
+	for _, id := range t.Edges {
+		total += w(g.Edge(id))
+	}
+	return total
+}
+
+// Prune removes branches that serve no target: it repeatedly deletes
+// leaf edges whose head is neither a target nor an interior node.
+func (t *Tree) Prune(g *graph.Graph, targets []graph.NodeID) {
+	keep := make(map[graph.NodeID]bool, len(targets))
+	for _, tgt := range targets {
+		keep[tgt] = true
+	}
+	for {
+		fanout := make(map[graph.NodeID]int)
+		for _, id := range t.Edges {
+			fanout[g.Edge(id).From]++
+		}
+		kept := t.Edges[:0]
+		removed := false
+		for _, id := range t.Edges {
+			head := g.Edge(id).To
+			if fanout[head] == 0 && !keep[head] {
+				removed = true
+				continue
+			}
+			kept = append(kept, id)
+		}
+		t.Edges = kept
+		if !removed {
+			return
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// relay5 is the Figure 5 platform: S -> A (1), A -> t0,t1,t2 (1/3).
+func relay5(t *testing.T) (*graph.Graph, graph.NodeID, []graph.NodeID) {
+	t.Helper()
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("A")
+	ts := g.AddNodes("t", 3)
+	g.AddEdge(s, a, 1)
+	for _, v := range ts {
+		g.AddEdge(a, v, 1.0/3)
+	}
+	return g, s, ts
+}
+
+func TestTreeMetrics(t *testing.T) {
+	g, s, ts := relay5(t)
+	tr := &Tree{Root: s, Edges: []int{0, 1, 2, 3}}
+	if err := tr.Validate(g, s, ts); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.NodeByName("A")
+	if got := tr.SendLoad(g, s); !approx(got, 1, 1e-12) {
+		t.Errorf("SendLoad(S) = %v", got)
+	}
+	if got := tr.SendLoad(g, a); !approx(got, 1, 1e-12) {
+		t.Errorf("SendLoad(A) = %v", got)
+	}
+	if got := tr.RecvLoad(g, a); !approx(got, 1, 1e-12) {
+		t.Errorf("RecvLoad(A) = %v", got)
+	}
+	if got := tr.RecvLoad(g, s); got != 0 {
+		t.Errorf("RecvLoad(S) = %v", got)
+	}
+	if got := tr.Period(g); !approx(got, 1, 1e-12) {
+		t.Errorf("Period = %v, want 1", got)
+	}
+	if got := tr.Throughput(g); !approx(got, 1, 1e-12) {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := tr.Cost(g, graph.CostWeight); !approx(got, 2, 1e-12) {
+		t.Errorf("Cost = %v, want 2", got)
+	}
+	parent := tr.Parent(g)
+	if parent[a] != 0 || parent[s] != -1 {
+		t.Errorf("Parent = %v", parent)
+	}
+	ch := tr.Children(g)
+	if len(ch[a]) != 3 || len(ch[s]) != 1 {
+		t.Errorf("Children = %v", ch)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g, s, ts := relay5(t)
+	cases := map[string]*Tree{
+		"wrong root":    {Root: ts[0], Edges: []int{0}},
+		"two parents":   {Root: s, Edges: []int{0, 1, 2, 3, g.AddEdge(s, ts[0], 1)}},
+		"disconnected":  {Root: s, Edges: []int{1, 2, 3}},
+		"missing cover": {Root: s, Edges: []int{0, 1, 2}},
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(g, s, ts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	g.Deactivate(ts[2])
+	tr := &Tree{Root: s, Edges: []int{0, 1, 2, 3}}
+	if err := tr.Validate(g, s, ts[:2]); err == nil {
+		t.Error("inactive edge accepted")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	e1 := g.AddEdge(s, a, 1)
+	e2 := g.AddEdge(a, b, 1) // target branch
+	e3 := g.AddEdge(a, c, 1) // useless branch
+	tr := &Tree{Root: s, Edges: []int{e1, e2, e3}}
+	tr.Prune(g, []graph.NodeID{b})
+	if len(tr.Edges) != 2 {
+		t.Fatalf("pruned edges = %v", tr.Edges)
+	}
+	for _, id := range tr.Edges {
+		if id == e3 {
+			t.Fatal("useless branch kept")
+		}
+	}
+	// Pruning must cascade: if b were not a target, everything goes.
+	tr2 := &Tree{Root: s, Edges: []int{e1, e2, e3}}
+	tr2.Prune(g, nil)
+	if len(tr2.Edges) != 0 {
+		t.Fatalf("cascade prune left %v", tr2.Edges)
+	}
+}
+
+func TestBestSingleTreeRelay(t *testing.T) {
+	g, s, ts := relay5(t)
+	tr, period, err := BestSingleTree(g, s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(period, 1, 1e-9) {
+		t.Fatalf("period = %v, want 1", period)
+	}
+	if err := tr.Validate(g, s, ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestSingleTreePrefersCheapRoute(t *testing.T) {
+	// Two routes to the single target: direct (cost 3) and via a relay
+	// (costs 1+1, bottleneck 1). The tree metric is minimax over port
+	// loads, so the relay route wins.
+	g := graph.New()
+	s := g.AddNode("S")
+	r := g.AddNode("r")
+	x := g.AddNode("x")
+	g.AddEdge(s, x, 3)
+	g.AddEdge(s, r, 1)
+	g.AddEdge(r, x, 1)
+	tr, period, err := BestSingleTree(g, s, []graph.NodeID{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(period, 1, 1e-9) {
+		t.Fatalf("period = %v, want 1", period)
+	}
+	if len(tr.Edges) != 2 {
+		t.Fatalf("edges = %v", tr.Edges)
+	}
+}
+
+func TestBestSingleTreeUnreachable(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	x := g.AddNode("x")
+	_ = x
+	if _, _, err := BestSingleTree(g, s, []graph.NodeID{x}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSteinerSimplePath(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(s, a, 2)
+	g.AddEdge(a, b, 3)
+	g.AddEdge(s, b, 10)
+	tr, cost, err := MinSteinerArborescence(g, s, []graph.NodeID{b}, graph.CostWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cost, 5, 1e-9) {
+		t.Fatalf("cost = %v, want 5", cost)
+	}
+	if err := tr.Validate(g, s, []graph.NodeID{b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerSharedTrunk(t *testing.T) {
+	// Two terminals behind a shared trunk: the trunk must be counted
+	// once (Steiner), not twice (shortest-path union would also give 1+
+	// 1+5 here, but a naive double-count would claim 12).
+	g := graph.New()
+	s := g.AddNode("S")
+	h := g.AddNode("h")
+	t1 := g.AddNode("t1")
+	t2 := g.AddNode("t2")
+	g.AddEdge(s, h, 5)
+	g.AddEdge(h, t1, 1)
+	g.AddEdge(h, t2, 1)
+	_, cost, err := MinSteinerArborescence(g, s, []graph.NodeID{t1, t2}, graph.CostWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cost, 7, 1e-9) {
+		t.Fatalf("cost = %v, want 7", cost)
+	}
+}
+
+func TestSteinerRootTerminalAndEmpty(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	tr, cost, err := MinSteinerArborescence(g, s, []graph.NodeID{s}, graph.CostWeight)
+	if err != nil || cost != 0 || len(tr.Edges) != 0 {
+		t.Fatalf("root-only steiner: %v %v %v", tr, cost, err)
+	}
+}
+
+// bruteSteiner enumerates all edge subsets and returns the minimum cost
+// of a valid covering arborescence.
+func bruteSteiner(g *graph.Graph, root graph.NodeID, terminals []graph.NodeID, w graph.WeightFunc) float64 {
+	edges := g.ActiveEdges()
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		var sub []int
+		for i, id := range edges {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, id)
+			}
+		}
+		tr := &Tree{Root: root, Edges: sub}
+		if tr.Validate(g, root, terminals) != nil {
+			continue
+		}
+		if c := tr.Cost(g, w); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestSteinerMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 3 + rng.Intn(3)
+		ids := g.AddNodes("n", n)
+		for len(g.ActiveEdges()) < 2*n && len(g.ActiveEdges()) < 11 {
+			a := ids[rng.Intn(n)]
+			b := ids[rng.Intn(n)]
+			if a != b {
+				if _, dup := g.FindEdge(a, b); !dup {
+					g.AddEdge(a, b, float64(1+rng.Intn(8))/2)
+				}
+			}
+		}
+		root := ids[0]
+		var terminals []graph.NodeID
+		for _, v := range ids[1:] {
+			if rng.Intn(2) == 0 {
+				terminals = append(terminals, v)
+			}
+		}
+		if len(terminals) == 0 {
+			terminals = ids[1:2]
+		}
+		if !g.ReachesAll(root, terminals) {
+			return true
+		}
+		_, got, err := MinSteinerArborescence(g, root, terminals, graph.CostWeight)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := bruteSteiner(g, root, terminals, graph.CostWeight)
+		if !approx(got, want, 1e-9) {
+			t.Logf("seed %d: DP %v vs brute %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOptimalChain(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(s, a, 1)
+	g.AddEdge(a, b, 1)
+	pk, err := PackOptimal(g, s, []graph.NodeID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pk.Throughput, 1, 1e-7) {
+		t.Fatalf("chain packing throughput = %v, want 1", pk.Throughput)
+	}
+}
+
+func TestPackOptimalStar(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	ts := g.AddNodes("t", 3)
+	for _, v := range ts {
+		g.AddEdge(s, v, 1)
+	}
+	pk, err := PackOptimal(g, s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pk.Throughput, 1.0/3, 1e-7) {
+		t.Fatalf("star packing throughput = %v, want 1/3", pk.Throughput)
+	}
+}
+
+func TestPackOptimalRelay(t *testing.T) {
+	g, s, ts := relay5(t)
+	pk, err := PackOptimal(g, s, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(pk.Throughput, 1, 1e-7) {
+		t.Fatalf("relay packing throughput = %v, want 1", pk.Throughput)
+	}
+	for _, wt := range pk.Trees {
+		if err := wt.Tree.Validate(g, s, ts); err != nil {
+			t.Errorf("packed tree invalid: %v", err)
+		}
+	}
+}
+
+func TestPackOptimalGuards(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	ts := g.AddNodes("t", MaxPackTargets+1)
+	for _, v := range ts {
+		g.AddEdge(s, v, 1)
+	}
+	if _, err := PackOptimal(g, s, ts); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := PackOptimal(g, s, nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}
+
+// Property: every tree in an optimal packing validates, the number of
+// weighted trees respects Theorem 4's 2|E| bound, the packed load
+// respects the one-port constraints, and the throughput of the packing
+// is at least that of the best of its trees alone.
+func TestPackingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 3 + rng.Intn(4)
+		ids := g.AddNodes("n", n)
+		for i := 0; i < 3*n; i++ {
+			a := ids[rng.Intn(n)]
+			b := ids[rng.Intn(n)]
+			if a != b {
+				if _, dup := g.FindEdge(a, b); !dup {
+					g.AddEdge(a, b, 0.25+rng.Float64())
+				}
+			}
+		}
+		src := ids[0]
+		var targets []graph.NodeID
+		for _, v := range ids[1:] {
+			if rng.Intn(2) == 0 {
+				targets = append(targets, v)
+			}
+		}
+		if len(targets) == 0 {
+			targets = ids[1:2]
+		}
+		if !g.ReachesAll(src, targets) {
+			return true
+		}
+		pk, err := PackOptimal(g, src, targets)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(pk.Trees) > 2*len(g.ActiveEdges()) {
+			t.Logf("seed %d: %d trees > 2|E|", seed, len(pk.Trees))
+			return false
+		}
+		send := make([]float64, g.NumNodes())
+		recv := make([]float64, g.NumNodes())
+		bestSingle := 0.0
+		for _, wt := range pk.Trees {
+			if err := wt.Tree.Validate(g, src, targets); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if thr := wt.Tree.Throughput(g); thr > bestSingle {
+				bestSingle = thr
+			}
+			for _, id := range wt.Tree.Edges {
+				e := g.Edge(id)
+				send[e.From] += wt.Rate * e.Cost
+				recv[e.To] += wt.Rate * e.Cost
+			}
+		}
+		for v := range send {
+			if send[v] > 1+1e-6 || recv[v] > 1+1e-6 {
+				t.Logf("seed %d: port overload at node %d", seed, v)
+				return false
+			}
+		}
+		if pk.Throughput < bestSingle-1e-6 {
+			t.Logf("seed %d: packing %v below best tree %v", seed, pk.Throughput, bestSingle)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
