@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"io"
 	"math/rand"
 
 	"repro/internal/exp"
@@ -118,15 +119,42 @@ func Figure4() ExamplePlatform { return platforms.Figure4() }
 // Figure5 returns the |Ptarget|-gap relay star.
 func Figure5() ExamplePlatform { return platforms.Figure5() }
 
-// SweepConfig parameterises a Figure 11 density sweep.
+// SweepConfig parameterises a Figure 11 density sweep. The grid runs
+// concurrently by default (Workers < 1 means runtime.GOMAXPROCS(0));
+// set Workers to override the pool size, or to 1 to force serial
+// execution. Per-task seeding keeps the result bit-identical for any
+// worker count.
 type SweepConfig = exp.Config
 
 // SweepCell is one aggregated (density, series) data point.
 type SweepCell = exp.Cell
 
-// RunSweep executes a Figure 11 experiment sweep.
+// SweepTask identifies one (platform, density) grid point of a sweep.
+type SweepTask = exp.Task
+
+// SweepTaskResult is the structured outcome of one sweep task; task
+// failures are carried in its Err field rather than aborting the sweep.
+type SweepTaskResult = exp.TaskResult
+
+// RunSweep executes a Figure 11 experiment sweep on SweepConfig.Workers
+// concurrent workers and aggregates the per-task results into cells.
 func RunSweep(cfg SweepConfig) ([]SweepCell, error) { return exp.Run(cfg) }
+
+// RunSweepTasks executes the sweep grid and returns the raw per-task
+// results in task order (platform-major), without aggregation.
+func RunSweepTasks(cfg SweepConfig) ([]SweepTaskResult, error) { return exp.Sweep(cfg) }
+
+// AggregateSweep folds per-task results into one cell per (density,
+// series), skipping failed tasks.
+func AggregateSweep(results []SweepTaskResult) []SweepCell { return exp.Aggregate(results) }
 
 // SweepTable renders sweep cells as one Figure 11 panel ("scatter" or
 // "lb" baseline).
 func SweepTable(cells []SweepCell, baseline string) string { return exp.Table(cells, baseline) }
+
+// EncodeSweep persists sweep cells as JSON so a finished sweep can be
+// re-rendered later without re-solving the LPs.
+func EncodeSweep(w io.Writer, cells []SweepCell) error { return exp.EncodeCells(w, cells) }
+
+// DecodeSweep reads cells previously written by EncodeSweep.
+func DecodeSweep(r io.Reader) ([]SweepCell, error) { return exp.DecodeCells(r) }

@@ -6,6 +6,11 @@
 // The full paper-scale run (10 platforms, 6 densities, both sizes)
 // takes a while; -platforms and -densities trade fidelity for time.
 //
+// The sweep grid runs on a worker pool (-workers, default GOMAXPROCS);
+// per-task seeding keeps the output bit-identical for any worker
+// count. -json persists the aggregated cells so a finished sweep can
+// be re-rendered later with -from without re-solving the LPs.
+//
 // Usage:
 //
 //	experiments -size small -baseline scatter        # Figure 11(a)
@@ -13,6 +18,8 @@
 //	experiments -size big   -baseline scatter        # Figure 11(c)
 //	experiments -size big   -baseline lb             # Figure 11(d)
 //	experiments -size small -baseline both -csv out.csv
+//	experiments -size big -workers 8 -json sweep.json
+//	experiments -from sweep.json -baseline lb        # re-render, no solve
 package main
 
 import (
@@ -36,40 +43,74 @@ func main() {
 		densities = flag.String("densities", "", "comma-separated target densities (default: the paper's sweep)")
 		seed      = flag.Int64("seed", 1, "base random seed")
 		baseline  = flag.String("baseline", "both", `ratio baseline: "scatter", "lb" or "both"`)
+		workers   = flag.Int("workers", 0, "concurrent sweep workers (default GOMAXPROCS)")
+		jsonOut   = flag.String("json", "", "also write the aggregated cells as JSON to this file")
+		fromJSON  = flag.String("from", "", "skip the sweep and re-render cells from this JSON file")
 		csvOut    = flag.String("csv", "", "also write raw cells as CSV to this file")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Size: *size, Platforms: *platforms, Seed: *seed}
-	if !*quiet {
-		cfg.Progress = os.Stderr
-	}
-	if *densities != "" {
-		for _, part := range strings.Split(*densities, ",") {
-			d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				log.Fatalf("bad density %q: %v", part, err)
-			}
-			cfg.Densities = append(cfg.Densities, d)
+	var cells []exp.Cell
+	// label names the data's origin in the table headers; the persisted
+	// JSON does not record the platform size, so re-rendered cells are
+	// labelled by their source file rather than by the (ignored) -size
+	// flag.
+	label := *size + " platforms"
+	if *fromJSON != "" {
+		label = "from " + *fromJSON
+		f, err := os.Open(*fromJSON)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-
-	cells, err := exp.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
+		cells, err = exp.DecodeCells(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := exp.Config{Size: *size, Platforms: *platforms, Seed: *seed, Workers: *workers}
+		if !*quiet {
+			cfg.Progress = os.Stderr
+		}
+		if *densities != "" {
+			for _, part := range strings.Split(*densities, ",") {
+				d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil {
+					log.Fatalf("bad density %q: %v", part, err)
+				}
+				cfg.Densities = append(cfg.Densities, d)
+			}
+		}
+		var err error
+		cells, err = exp.Run(cfg)
+		if err != nil {
+			// Per-task failures come back joined alongside the cells of
+			// the tasks that did succeed; a partially failed sweep is
+			// still worth rendering and persisting.
+			if len(cells) == 0 {
+				log.Fatal(err)
+			}
+			log.Printf("warning: some sweep tasks failed, rendering the surviving cells: %v", err)
+		}
 	}
 
 	switch *baseline {
 	case "scatter":
-		fmt.Printf("ratio of periods to the scatter bound (%s platforms)\n\n%s", *size, exp.Table(cells, "scatter"))
+		fmt.Printf("ratio of periods to the scatter bound (%s)\n\n%s", label, exp.Table(cells, "scatter"))
 	case "lb":
-		fmt.Printf("ratio of periods to the lower bound (%s platforms)\n\n%s", *size, exp.Table(cells, "lb"))
+		fmt.Printf("ratio of periods to the lower bound (%s)\n\n%s", label, exp.Table(cells, "lb"))
 	case "both":
-		fmt.Printf("ratio of periods to the scatter bound (%s platforms)\n\n%s\n", *size, exp.Table(cells, "scatter"))
-		fmt.Printf("ratio of periods to the lower bound (%s platforms)\n\n%s", *size, exp.Table(cells, "lb"))
+		fmt.Printf("ratio of periods to the scatter bound (%s)\n\n%s\n", label, exp.Table(cells, "scatter"))
+		fmt.Printf("ratio of periods to the lower bound (%s)\n\n%s", label, exp.Table(cells, "lb"))
 	default:
 		log.Fatalf("unknown baseline %q", *baseline)
+	}
+
+	if *jsonOut != "" {
+		if err := exp.WriteCellsFile(*jsonOut, cells); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *csvOut != "" {

@@ -6,6 +6,10 @@
 //	figures -fig 3      Theorem 5 parallel-prefix reduction
 //	figures -fig 4      Figure 4: neither LP bound is tight
 //	figures -fig 5      Figure 5: the |Ptarget| gap between the bounds
+//	figures -fig 11     Figure 11 density sweep (reduced; see cmd/experiments
+//	                    for the full paper-scale run); honours -workers for
+//	                    the concurrent sweep engine and -json to persist the
+//	                    cells
 //	figures -fig 12     Figure 12 case study: MCPH vs Multisource MC on a Tiers platform
 //	figures -fig table  Section 4 complexity table, as measured runtimes
 package main
@@ -15,8 +19,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/heur"
 	"repro/internal/platforms"
@@ -30,8 +36,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "1", "figure to regenerate: 1, 2, 3, 4, 5, 12 or table")
-	seed := flag.Int64("seed", 1, "random seed (figure 12)")
+	fig := flag.String("fig", "1", "figure to regenerate: 1, 2, 3, 4, 5, 11, 12 or table")
+	seed := flag.Int64("seed", 1, "random seed (figures 11 and 12)")
+	size := flag.String("size", "small", `platform preset for figure 11: "small" or "big"`)
+	workers := flag.Int("workers", 0, "concurrent sweep workers for figure 11 (default GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "persist the figure 11 cells as JSON to this file")
 	flag.Parse()
 
 	var err error
@@ -46,6 +55,8 @@ func main() {
 		err = figure4()
 	case "5":
 		err = figure5()
+	case "11":
+		err = figure11(*seed, *size, *workers, *jsonOut)
 	case "12":
 		err = figure12(*seed)
 	case "table":
@@ -174,6 +185,35 @@ func figure5() error {
 	}
 	fmt.Printf("  scatter period %.4f vs optimistic period %.4f: gap %.1fx = |Ptarget| = %d\n",
 		ub.Period, lb.Period, ub.Period/lb.Period, len(pl.Targets))
+	return nil
+}
+
+// figure11 runs a reduced density sweep (3 platforms, paper densities)
+// on the concurrent engine and prints both panel baselines; the
+// paper-scale 10-platform run lives in cmd/experiments.
+func figure11(seed int64, size string, workers int, jsonOut string) error {
+	cfg := exp.Config{
+		Size:      size,
+		Platforms: 3,
+		Seed:      seed,
+		Workers:   workers,
+		Progress:  os.Stderr,
+	}
+	cells, err := exp.Run(cfg)
+	if err != nil {
+		// Per-task failures still yield the surviving cells; only a
+		// sweep with nothing to show is fatal.
+		if len(cells) == 0 {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "figures: warning: some sweep tasks failed, rendering the surviving cells: %v\n", err)
+	}
+	fmt.Printf("Figure 11 - density sweep (%s platforms, reduced to %d platforms)\n\n", size, cfg.Platforms)
+	fmt.Printf("ratio of periods to the scatter bound\n\n%s\n", exp.Table(cells, "scatter"))
+	fmt.Printf("ratio of periods to the lower bound\n\n%s", exp.Table(cells, "lb"))
+	if jsonOut != "" {
+		return exp.WriteCellsFile(jsonOut, cells)
+	}
 	return nil
 }
 

@@ -22,10 +22,21 @@
 //	internal/setcover  MINIMUM-SET-COVER and the Theorem 1 reduction
 //	internal/prefix    pipelined parallel prefix and the Theorem 5
 //	                   reduction
-//	internal/exp       the Figure 11 experiment harness
+//	internal/exp       the Figure 11 experiment harness: a concurrent
+//	                   sweep engine (task generator, worker pool,
+//	                   order-independent aggregator) with deterministic
+//	                   per-task seeding, so a sweep's cells are
+//	                   bit-identical for any worker count
+//	internal/testutil  tiny shared test helpers (Near)
 //
-// See README.md for a tour, DESIGN.md for the architecture and the
-// paper-to-code mapping, and EXPERIMENTS.md for reproduced results.
-// The benchmarks in bench_test.go regenerate every figure and table of
-// the paper's evaluation.
+// The sweep engine is surfaced as RunSweep (aggregated cells),
+// RunSweepTasks (structured per-task results with errors carried as
+// values), and EncodeSweep/DecodeSweep (JSON persistence of finished
+// sweeps). SweepConfig.Workers sets the pool size; zero means
+// runtime.GOMAXPROCS(0).
+//
+// See README.md for a tour. The benchmarks in bench_test.go regenerate
+// every figure and table of the paper's evaluation; the Figure 11
+// benchmarks come in parallel and Serial variants to measure the
+// worker-pool speedup.
 package repro

@@ -4,15 +4,25 @@
 // period ratios that the paper plots — each heuristic's period against
 // the scatter upper bound (Figures 11a/11c) and against the theoretical
 // lower bound (Figures 11b/11d).
+//
+// The sweep grid is embarrassingly parallel: each (platform, density)
+// cell is an independent task. Run executes the grid on a worker pool
+// (Config.Workers) with deterministic per-task seeding — every task
+// derives its own rand.Rand from (Config.Seed, platform index, density
+// index), so the aggregated cells are bit-identical regardless of the
+// number of workers or the order in which tasks complete.
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/heur"
 	"repro/internal/steady"
@@ -37,12 +47,20 @@ type Config struct {
 	// Densities are the target densities over the LAN hosts; nil means
 	// DefaultDensities.
 	Densities []float64
-	// Seed drives platform generation and target selection.
+	// Seed drives platform generation and target selection. Each
+	// (platform, density) task derives its own generator from Seed and
+	// the task coordinates, so results do not depend on Workers.
 	Seed int64
-	// Heuristics to run; nil means heur.All().
+	// Heuristics to run; nil means heur.All(). An empty non-nil slice
+	// runs only the three baselines.
 	Heuristics []heur.Heuristic
-	// Progress, when non-nil, receives one line per (platform,
-	// density) step.
+	// Workers is the number of concurrent sweep workers; values < 1
+	// mean runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, receives one line per completed
+	// (platform, density) task. Lines arrive in completion order, but
+	// all writes happen from a single collector goroutine, so the
+	// writer needs no locking of its own.
 	Progress io.Writer
 }
 
@@ -54,16 +72,77 @@ func DefaultDensities() []float64 {
 
 // Cell is one aggregated data point: a series at a density.
 type Cell struct {
-	Density   float64
-	Series    string
-	VsScatter float64 // mean period(series) / period(scatter)
-	VsLB      float64 // mean period(series) / period(lower bound)
-	Runs      int
+	Density   float64 `json:"density"`
+	Series    string  `json:"series"`
+	VsScatter float64 `json:"vs_scatter"` // mean period(series) / period(scatter)
+	VsLB      float64 `json:"vs_lb"`      // mean period(series) / period(lower bound)
+	Runs      int     `json:"runs"`
+}
+
+// Task is one unit of sweep work: a single (platform, density) grid
+// point.
+type Task struct {
+	Platform     int     // platform index in [0, Config.Platforms)
+	DensityIndex int     // index into the density sweep
+	Density      float64 // target density over the LAN hosts
+}
+
+// TaskResult is the structured outcome of one task. A task failure is
+// carried in Err rather than aborting the sweep, so one disconnected
+// platform does not discard the rest of the grid.
+type TaskResult struct {
+	Task
+	Targets int                // size of the drawn target set
+	Scatter float64            // scatter bound period (Multicast-UB)
+	LB      float64            // lower bound period (Multicast-LB)
+	Periods map[string]float64 // period per series (baselines + heuristics)
+	Err     error
+}
+
+// taskSeed derives the deterministic per-task RNG seed from the sweep
+// seed and the task coordinates, mixing through splitmix64 so that
+// neighbouring tasks get uncorrelated streams.
+func taskSeed(seed int64, platform, densityIndex int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	z = splitmix(z + uint64(platform)*0xbf58476d1ce4e5b9)
+	z = splitmix(z + uint64(densityIndex)*0x94d049bb133111eb)
+	return int64(z >> 1)
+}
+
+func splitmix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // Run executes the sweep and returns one Cell per (density, series),
-// ordered by density then series name.
+// ordered by density then series name. Configuration-level failures
+// (unknown size, platform generation) abort the run; per-task failures
+// are aggregated into the returned error while the surviving tasks
+// still contribute cells.
 func Run(cfg Config) ([]Cell, error) {
+	results, err := Sweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return Aggregate(results), errors.Join(errs...)
+}
+
+// Sweep executes the task grid on the worker pool and returns one
+// TaskResult per (platform, density) in task order (platform-major),
+// independent of worker count and completion order. Per-task failures
+// are reported in TaskResult.Err; only configuration-level failures
+// return an error.
+func Sweep(cfg Config) ([]TaskResult, error) {
 	if cfg.Platforms <= 0 {
 		cfg.Platforms = 10
 	}
@@ -76,85 +155,167 @@ func Run(cfg Config) ([]Cell, error) {
 		heuristics = heur.All()
 	}
 
+	// Platform generation is cheap and deterministic; do it serially up
+	// front so every task for platform i shares one read-only topology.
+	platforms := make([]*tiers.Platform, cfg.Platforms)
+	for pi := range platforms {
+		p, err := generate(cfg.Size, cfg.Seed+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		platforms[pi] = p
+	}
+
+	tasks := make([]Task, 0, cfg.Platforms*len(densities))
+	for pi := 0; pi < cfg.Platforms; pi++ {
+		for di, d := range densities {
+			tasks = append(tasks, Task{Platform: pi, DensityIndex: di, Density: d})
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]TaskResult, len(tasks))
+	todo := make(chan int)
+	done := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range todo {
+				t := tasks[i]
+				rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, t.Platform, t.DensityIndex)))
+				results[i] = runTask(platforms[t.Platform], t, heuristics, rng)
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range tasks {
+			todo <- i
+		}
+		close(todo)
+		wg.Wait()
+		close(done)
+	}()
+	// The collector is the sole writer to Progress, which makes the
+	// sink safe without any synchronisation on the caller's side.
+	for i := range done {
+		if cfg.Progress == nil {
+			continue
+		}
+		r := results[i]
+		if r.Err != nil {
+			fmt.Fprintf(cfg.Progress, "platform %d density %.2f: error: %v\n", r.Platform, r.Density, r.Err)
+			continue
+		}
+		fmt.Fprintf(cfg.Progress, "platform %d density %.2f: |T|=%d scatter=%.1f lb=%.1f\n",
+			r.Platform, r.Density, r.Targets, r.Scatter, r.LB)
+	}
+	return results, nil
+}
+
+// runTask draws the target set and computes every series' period for
+// one grid point. Failures are returned as values on the result.
+func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, rng *rand.Rand) TaskResult {
+	res := TaskResult{Task: task}
+	fail := func(err error) TaskResult {
+		res.Err = fmt.Errorf("exp: platform %d density %.2f: %w", task.Platform, task.Density, err)
+		return res
+	}
+	targets := platform.RandomTargets(rng, task.Density)
+	res.Targets = len(targets)
+	p, err := steady.NewProblem(platform.G, platform.Source, targets)
+	if err != nil {
+		return fail(err)
+	}
+	scatter, err := steady.ScatterUB(p)
+	if err != nil {
+		return fail(err)
+	}
+	lb, err := steady.MulticastLB(p)
+	if err != nil {
+		return fail(err)
+	}
+	bc, err := steady.BroadcastEB(platform.G, platform.Source)
+	if err != nil {
+		return fail(err)
+	}
+	if scatter.Infeasible() || lb.Infeasible() || bc.Infeasible() {
+		return fail(errors.New("generated platform disconnected"))
+	}
+	res.Scatter, res.LB = scatter.Period, lb.Period
+	res.Periods = map[string]float64{
+		SeriesScatter:    scatter.Period,
+		SeriesLowerBound: lb.Period,
+		SeriesBroadcast:  bc.Period,
+	}
+	for _, h := range heuristics {
+		hr, err := h.Run(p)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", h.Name, err))
+		}
+		if math.IsInf(hr.Period, 1) {
+			return fail(fmt.Errorf("%s returned an infinite period", h.Name))
+		}
+		res.Periods[h.Name] = hr.Period
+	}
+	return res
+}
+
+// Aggregate folds task results into one Cell per (density, series),
+// ordered by density then series name. Failed tasks are skipped. The
+// fold visits results in task order, so for a fixed result slice the
+// floating-point sums — and hence the cells — are bit-identical
+// however the results were produced. Accumulators key on the density
+// value, not the sweep index, so duplicate entries in Config.Densities
+// merge into one cell (with their runs combined) and the final sort
+// over the unique (density, series) keys is total.
+func Aggregate(results []TaskResult) []Cell {
 	type acc struct {
 		vsScatter, vsLB float64
 		runs            int
 	}
-	sums := map[[2]string]*acc{} // (density label, series)
-	densLabel := func(d float64) string { return fmt.Sprintf("%.4f", d) }
-	add := func(d float64, series string, period, scatter, lb float64) {
-		key := [2]string{densLabel(d), series}
-		a := sums[key]
-		if a == nil {
-			a = &acc{}
-			sums[key] = a
-		}
-		a.vsScatter += period / scatter
-		a.vsLB += period / lb
-		a.runs++
+	type key struct {
+		density float64
+		series  string
 	}
-
-	for pi := 0; pi < cfg.Platforms; pi++ {
-		platform, err := generate(cfg.Size, cfg.Seed+int64(pi))
-		if err != nil {
-			return nil, err
+	sums := map[key]*acc{}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(pi)))
-		for _, d := range densities {
-			targets := platform.RandomTargets(rng, d)
-			p, err := steady.NewProblem(platform.G, platform.Source, targets)
-			if err != nil {
-				return nil, err
+		// Per-series accumulators each receive their contributions in
+		// task order; map iteration order only interleaves independent
+		// accumulators, so the sums stay deterministic.
+		for series, period := range r.Periods {
+			k := key{r.Density, series}
+			a := sums[k]
+			if a == nil {
+				a = &acc{}
+				sums[k] = a
 			}
-			scatter, err := steady.ScatterUB(p)
-			if err != nil {
-				return nil, err
-			}
-			lb, err := steady.MulticastLB(p)
-			if err != nil {
-				return nil, err
-			}
-			bc, err := steady.BroadcastEB(platform.G, platform.Source)
-			if err != nil {
-				return nil, err
-			}
-			if scatter.Infeasible() || lb.Infeasible() || bc.Infeasible() {
-				return nil, fmt.Errorf("exp: generated platform disconnected (seed %d)", cfg.Seed+int64(pi))
-			}
-			add(d, SeriesScatter, scatter.Period, scatter.Period, lb.Period)
-			add(d, SeriesLowerBound, lb.Period, scatter.Period, lb.Period)
-			add(d, SeriesBroadcast, bc.Period, scatter.Period, lb.Period)
-			for _, h := range heuristics {
-				res, err := h.Run(p)
-				if err != nil {
-					return nil, fmt.Errorf("exp: %s: %w", h.Name, err)
-				}
-				if math.IsInf(res.Period, 1) {
-					return nil, fmt.Errorf("exp: %s returned an infinite period", h.Name)
-				}
-				add(d, h.Name, res.Period, scatter.Period, lb.Period)
-			}
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "platform %d density %.2f: |T|=%d scatter=%.1f lb=%.1f\n",
-					pi, d, len(targets), scatter.Period, lb.Period)
-			}
+			a.vsScatter += period / r.Scatter
+			a.vsLB += period / r.LB
+			a.runs++
 		}
 	}
-
-	var cells []Cell
-	for _, d := range densities {
-		for key, a := range sums {
-			if key[0] != densLabel(d) {
-				continue
-			}
-			cells = append(cells, Cell{
-				Density:   d,
-				Series:    key[1],
-				VsScatter: a.vsScatter / float64(a.runs),
-				VsLB:      a.vsLB / float64(a.runs),
-				Runs:      a.runs,
-			})
-		}
+	cells := make([]Cell, 0, len(sums))
+	for k, a := range sums {
+		cells = append(cells, Cell{
+			Density:   k.density,
+			Series:    k.series,
+			VsScatter: a.vsScatter / float64(a.runs),
+			VsLB:      a.vsLB / float64(a.runs),
+			Runs:      a.runs,
+		})
 	}
 	sort.Slice(cells, func(i, j int) bool {
 		if cells[i].Density != cells[j].Density {
@@ -162,7 +323,7 @@ func Run(cfg Config) ([]Cell, error) {
 		}
 		return cells[i].Series < cells[j].Series
 	})
-	return cells, nil
+	return cells
 }
 
 func generate(size string, seed int64) (*tiers.Platform, error) {

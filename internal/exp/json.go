@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// EncodeCells writes the cells as an indented JSON array, the
+// persistence format for finished sweeps: a sweep can be run once (see
+// cmd/experiments -json) and re-rendered into either Figure 11 panel
+// later without re-solving the LPs.
+func EncodeCells(w io.Writer, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		return fmt.Errorf("exp: encode cells: %w", err)
+	}
+	return nil
+}
+
+// WriteCellsFile persists the cells to a JSON file, the shared
+// behind-a-flag helper for cmd/experiments -json and cmd/figures
+// -json.
+func WriteCellsFile(path string, cells []Cell) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeCells(f, cells); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DecodeCells reads a JSON array previously written by EncodeCells.
+func DecodeCells(r io.Reader) ([]Cell, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cells []Cell
+	if err := dec.Decode(&cells); err != nil {
+		return nil, fmt.Errorf("exp: decode cells: %w", err)
+	}
+	return cells, nil
+}

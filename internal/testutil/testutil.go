@@ -1,0 +1,34 @@
+// Package testutil holds tiny helpers shared by the test suites of the
+// implementation packages.
+package testutil
+
+import "math"
+
+// Near reports whether x and y agree within eps, treating eps as an
+// absolute tolerance widened by the magnitude of the operands (so it
+// behaves sensibly for both ratios near 1 and raw LP objectives in the
+// thousands). NaNs are never near anything.
+func Near(x, y, eps float64) bool {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return false
+	}
+	if math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return x == y
+	}
+	scale := math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	return math.Abs(x-y) <= eps*scale
+}
+
+// NearSlice reports whether two equal-length slices are element-wise
+// Near.
+func NearSlice(xs, ys []float64, eps float64) bool {
+	if len(xs) != len(ys) {
+		return false
+	}
+	for i := range xs {
+		if !Near(xs[i], ys[i], eps) {
+			return false
+		}
+	}
+	return true
+}
