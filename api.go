@@ -68,8 +68,32 @@ func BroadcastBound(g *Graph, source NodeID) (*Bound, error) {
 }
 
 // Heuristics returns the paper's heuristic set (MCPH, Augmented
-// Multicast, Reduced Broadcast, Augmented Sources).
+// Multicast, Reduced Broadcast, Augmented Sources). Every run uses a
+// private bound evaluator; use HeuristicsWith to share one.
 func Heuristics() []Heuristic { return heur.All() }
+
+// Evaluator is a caching, warm-starting service for the steady-state
+// bound programs: results are cached by platform fingerprint and
+// target set, all solves share one reusable LP workspace, and the
+// cutting-plane / column-generation state (cuts, path columns) of
+// earlier solves seeds later related ones. The LP-based heuristics run
+// their incremental inner loops (drop node, add node, promote source)
+// against it. Not safe for concurrent use — hold one per goroutine.
+type Evaluator = steady.Evaluator
+
+// SolveStats aggregates LP-solver and evaluator activity: solves,
+// simplex iterations, warm-start and cache hits, cutting-plane rounds
+// and cuts.
+type SolveStats = steady.SolveStats
+
+// NewEvaluator returns an empty bound evaluator with its own LP
+// workspace.
+func NewEvaluator() *Evaluator { return steady.NewEvaluator() }
+
+// HeuristicsWith returns the paper's heuristic set bound to a shared
+// evaluator, so consecutive runs on the same platform reuse each
+// other's LP work.
+func HeuristicsWith(ev *Evaluator) []Heuristic { return heur.AllWith(ev) }
 
 // Optimal computes the exact optimal steady-state multicast throughput
 // via the Theorem 4 weighted tree-packing LP (exponential in the number
@@ -147,6 +171,10 @@ func RunSweepTasks(cfg SweepConfig) ([]SweepTaskResult, error) { return exp.Swee
 // AggregateSweep folds per-task results into one cell per (density,
 // series), skipping failed tasks.
 func AggregateSweep(results []SweepTaskResult) []SweepCell { return exp.Aggregate(results) }
+
+// AggregateSweepStats folds the per-task LP-solver statistics of a
+// sweep into one total.
+func AggregateSweepStats(results []SweepTaskResult) SolveStats { return exp.AggregateStats(results) }
 
 // SweepTable renders sweep cells as one Figure 11 panel ("scatter" or
 // "lb" baseline).

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON file, so CI can track the performance
+// trajectory (time, allocations and the solver's custom metrics such
+// as simplex-iters and warm-solves) from run to run.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH_sweep.json
+//	benchjson -o BENCH_sweep.json bench.out
+//
+// Every `BenchmarkName-P  N  <value> <unit> ...` line becomes one JSON
+// object; ns/op, B/op and allocs/op map to fixed fields, and every
+// other reported unit (the repo's benchmarks report reproduced paper
+// quantities and solver statistics) lands in the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH_sweep.json", "output JSON file (\"-\" for stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, err := Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+}
+
+// Parse extracts benchmark entries from `go test -bench` output.
+// Non-benchmark lines (headers, PASS/ok, compile chatter) are skipped.
+func Parse(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// parseLine parses one line of the form
+//
+//	BenchmarkName-8   3   34139002 ns/op   104.0 simplex-iters   16 B/op   2 allocs/op
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		case "allocs/op":
+			e.AllocsPerOp = val
+		case "MB/s":
+			e.Metrics["MB/s"] = val
+		default:
+			e.Metrics[unit] = val
+		}
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return e, true
+}

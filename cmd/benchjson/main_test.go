@@ -1,0 +1,64 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure1Example-8   	     100	  10000000 ns/op	         1.000 packing-thr	         0.6667 singletree-thr
+BenchmarkMulticastLBWarmCuts 	       3	  34139002 ns/op	        12.00 lp-solves	       104.0 simplex-iters	        11.00 warm-solves
+BenchmarkSimplexDense-8     	     500	    250000 ns/op	   16384 B/op	      42 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{
+		{
+			Name: "BenchmarkFigure1Example", Iterations: 100, NsPerOp: 1e7,
+			Metrics: map[string]float64{"packing-thr": 1, "singletree-thr": 0.6667},
+		},
+		{
+			Name: "BenchmarkMulticastLBWarmCuts", Iterations: 3, NsPerOp: 34139002,
+			Metrics: map[string]float64{"lp-solves": 12, "simplex-iters": 104, "warm-solves": 11},
+		},
+		{
+			Name: "BenchmarkSimplexDense", Iterations: 500, NsPerOp: 250000,
+			BytesPerOp: 16384, AllocsPerOp: 42,
+		},
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Errorf("parsed entries:\ngot:  %+v\nwant: %+v", entries, want)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	entries, err := Parse(strings.NewReader("nothing here\nBenchmarkBroken xyz\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("got %d entries from garbage input: %+v", len(entries), entries)
+	}
+}
+
+func TestParseKeepsHyphenatedNames(t *testing.T) {
+	// A trailing -N is a GOMAXPROCS suffix and must be stripped; an
+	// interior hyphen that is not numeric must survive.
+	entries, err := Parse(strings.NewReader("BenchmarkFoo-bar-16 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "BenchmarkFoo-bar" {
+		t.Errorf("entries = %+v, want one entry named BenchmarkFoo-bar", entries)
+	}
+}

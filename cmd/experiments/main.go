@@ -20,6 +20,12 @@
 //	experiments -size small -baseline both -csv out.csv
 //	experiments -size big -workers 8 -json sweep.json
 //	experiments -from sweep.json -baseline lb        # re-render, no solve
+//	experiments -size small -solvestats              # report LP solver work
+//
+// -solvestats reports the sweep's aggregate solver activity on stderr:
+// bound evaluations and cache hits, LP solves split into warm starts
+// and cold starts, simplex iterations (with the dual-simplex cleanup
+// share), and cutting-plane rounds/cuts.
 package main
 
 import (
@@ -38,16 +44,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		size      = flag.String("size", "small", `platform preset: "small" or "big"`)
-		platforms = flag.Int("platforms", 10, "number of random platforms (the paper uses 10)")
-		densities = flag.String("densities", "", "comma-separated target densities (default: the paper's sweep)")
-		seed      = flag.Int64("seed", 1, "base random seed")
-		baseline  = flag.String("baseline", "both", `ratio baseline: "scatter", "lb" or "both"`)
-		workers   = flag.Int("workers", 0, "concurrent sweep workers (default GOMAXPROCS)")
-		jsonOut   = flag.String("json", "", "also write the aggregated cells as JSON to this file")
-		fromJSON  = flag.String("from", "", "skip the sweep and re-render cells from this JSON file")
-		csvOut    = flag.String("csv", "", "also write raw cells as CSV to this file")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		size       = flag.String("size", "small", `platform preset: "small" or "big"`)
+		platforms  = flag.Int("platforms", 10, "number of random platforms (the paper uses 10)")
+		densities  = flag.String("densities", "", "comma-separated target densities (default: the paper's sweep)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		baseline   = flag.String("baseline", "both", `ratio baseline: "scatter", "lb" or "both"`)
+		workers    = flag.Int("workers", 0, "concurrent sweep workers (default GOMAXPROCS)")
+		jsonOut    = flag.String("json", "", "also write the aggregated cells as JSON to this file")
+		fromJSON   = flag.String("from", "", "skip the sweep and re-render cells from this JSON file")
+		csvOut     = flag.String("csv", "", "also write raw cells as CSV to this file")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		solveStats = flag.Bool("solvestats", false, "report aggregate LP-solver statistics (solves, iterations, warm starts, cache hits) after the sweep")
 	)
 	flag.Parse()
 
@@ -82,16 +89,23 @@ func main() {
 				cfg.Densities = append(cfg.Densities, d)
 			}
 		}
-		var err error
-		cells, err = exp.Run(cfg)
+		results, err := exp.Sweep(cfg)
 		if err != nil {
-			// Per-task failures come back joined alongside the cells of
-			// the tasks that did succeed; a partially failed sweep is
-			// still worth rendering and persisting.
+			log.Fatal(err)
+		}
+		cells = exp.Aggregate(results)
+		if taskErr := exp.Errors(results); taskErr != nil {
+			// Per-task failures leave the cells of the tasks that did
+			// succeed; a partially failed sweep is still worth rendering
+			// and persisting.
 			if len(cells) == 0 {
-				log.Fatal(err)
+				log.Fatal(taskErr)
 			}
-			log.Printf("warning: some sweep tasks failed, rendering the surviving cells: %v", err)
+			log.Printf("warning: some sweep tasks failed, rendering the surviving cells: %v", taskErr)
+		}
+		if *solveStats {
+			// Stats go to stderr; stdout carries the figure tables.
+			fmt.Fprintf(os.Stderr, "solver: %v\n", exp.AggregateStats(results))
 		}
 	}
 

@@ -41,6 +41,7 @@ func main() {
 	size := flag.String("size", "small", `platform preset for figure 11: "small" or "big"`)
 	workers := flag.Int("workers", 0, "concurrent sweep workers for figure 11 (default GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "persist the figure 11 cells as JSON to this file")
+	solveStats := flag.Bool("solvestats", false, "report aggregate LP-solver statistics after the figure 11 sweep")
 	flag.Parse()
 
 	var err error
@@ -56,7 +57,7 @@ func main() {
 	case "5":
 		err = figure5()
 	case "11":
-		err = figure11(*seed, *size, *workers, *jsonOut)
+		err = figure11(*seed, *size, *workers, *jsonOut, *solveStats)
 	case "12":
 		err = figure12(*seed)
 	case "table":
@@ -191,7 +192,7 @@ func figure5() error {
 // figure11 runs a reduced density sweep (3 platforms, paper densities)
 // on the concurrent engine and prints both panel baselines; the
 // paper-scale 10-platform run lives in cmd/experiments.
-func figure11(seed int64, size string, workers int, jsonOut string) error {
+func figure11(seed int64, size string, workers int, jsonOut string, solveStats bool) error {
 	cfg := exp.Config{
 		Size:      size,
 		Platforms: 3,
@@ -199,14 +200,21 @@ func figure11(seed int64, size string, workers int, jsonOut string) error {
 		Workers:   workers,
 		Progress:  os.Stderr,
 	}
-	cells, err := exp.Run(cfg)
+	results, err := exp.Sweep(cfg)
 	if err != nil {
+		return err
+	}
+	cells := exp.Aggregate(results)
+	if taskErr := exp.Errors(results); taskErr != nil {
 		// Per-task failures still yield the surviving cells; only a
 		// sweep with nothing to show is fatal.
 		if len(cells) == 0 {
-			return err
+			return taskErr
 		}
-		fmt.Fprintf(os.Stderr, "figures: warning: some sweep tasks failed, rendering the surviving cells: %v\n", err)
+		fmt.Fprintf(os.Stderr, "figures: warning: some sweep tasks failed, rendering the surviving cells: %v\n", taskErr)
+	}
+	if solveStats {
+		fmt.Fprintf(os.Stderr, "solver: %v\n", exp.AggregateStats(results))
 	}
 	fmt.Printf("Figure 11 - density sweep (%s platforms, reduced to %d platforms)\n\n", size, cfg.Platforms)
 	fmt.Printf("ratio of periods to the scatter bound\n\n%s\n", exp.Table(cells, "scatter"))

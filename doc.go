@@ -8,10 +8,15 @@
 // This root package is a thin façade over the implementation packages:
 //
 //	internal/graph     platform model (digraph, activity masks, paths)
-//	internal/lp        two-phase primal simplex (built from scratch)
+//	internal/lp        sparse revised simplex (built from scratch):
+//	                   reusable Workspaces, warm starts from a prior
+//	                   basis (dual-simplex cleanup after row addition,
+//	                   primal pricing after column addition)
 //	internal/flow      max-flow / min-cut / flow decomposition
 //	internal/steady    the paper's LP bounds (Multicast-UB/LB,
-//	                   Broadcast-EB, MulticastMultiSource-UB)
+//	                   Broadcast-EB, MulticastMultiSource-UB) plus the
+//	                   Evaluator: cached, warm-started, incremental
+//	                   bound evaluation for the heuristics and sweeps
 //	internal/heur      the four heuristics (MCPH, Augmented Multicast,
 //	                   Reduced Broadcast, Augmented Sources)
 //	internal/tree      multicast trees and the exact optimum
@@ -33,7 +38,11 @@
 // RunSweepTasks (structured per-task results with errors carried as
 // values), and EncodeSweep/DecodeSweep (JSON persistence of finished
 // sweeps). SweepConfig.Workers sets the pool size; zero means
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0). Each task runs on its own Evaluator
+// (NewEvaluator / HeuristicsWith), so the baselines and heuristics of
+// one grid cell share cached bounds, pooled cuts and one LP
+// workspace; AggregateSweepStats totals the solver statistics the
+// -solvestats flags of cmd/experiments and cmd/figures report.
 //
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // every figure and table of the paper's evaluation; the Figure 11

@@ -96,7 +96,10 @@ type TaskResult struct {
 	Scatter float64            // scatter bound period (Multicast-UB)
 	LB      float64            // lower bound period (Multicast-LB)
 	Periods map[string]float64 // period per series (baselines + heuristics)
-	Err     error
+	// Stats aggregates the task evaluator's LP-solver activity: solves,
+	// simplex iterations, warm-start hits, cache hits, cuts.
+	Stats steady.SolveStats
+	Err   error
 }
 
 // taskSeed derives the deterministic per-task RNG seed from the sweep
@@ -128,13 +131,7 @@ func Run(cfg Config) ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	var errs []error
-	for _, r := range results {
-		if r.Err != nil {
-			errs = append(errs, r.Err)
-		}
-	}
-	return Aggregate(results), errors.Join(errs...)
+	return Aggregate(results), Errors(results)
 }
 
 // Sweep executes the task grid on the worker pool and returns one
@@ -150,10 +147,10 @@ func Sweep(cfg Config) ([]TaskResult, error) {
 	if len(densities) == 0 {
 		densities = DefaultDensities()
 	}
+	// nil Heuristics resolves inside each task: the default registry is
+	// bound to the task's own evaluator so all five series of a cell
+	// share cached bounds, pooled cuts and one LP workspace.
 	heuristics := cfg.Heuristics
-	if heuristics == nil {
-		heuristics = heur.All()
-	}
 
 	// Platform generation is cheap and deterministic; do it serially up
 	// front so every task for platform i shares one read-only topology.
@@ -223,12 +220,19 @@ func Sweep(cfg Config) ([]TaskResult, error) {
 }
 
 // runTask draws the target set and computes every series' period for
-// one grid point. Failures are returned as values on the result.
+// one grid point on a per-task bound evaluator, so the three baselines
+// and every heuristic share LP work (cached bounds, pooled cuts, one
+// workspace). Failures are returned as values on the result.
 func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, rng *rand.Rand) TaskResult {
 	res := TaskResult{Task: task}
+	ev := steady.NewEvaluator()
 	fail := func(err error) TaskResult {
+		res.Stats = ev.Stats()
 		res.Err = fmt.Errorf("exp: platform %d density %.2f: %w", task.Platform, task.Density, err)
 		return res
+	}
+	if heuristics == nil {
+		heuristics = heur.AllWith(ev)
 	}
 	targets := platform.RandomTargets(rng, task.Density)
 	res.Targets = len(targets)
@@ -236,15 +240,15 @@ func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, r
 	if err != nil {
 		return fail(err)
 	}
-	scatter, err := steady.ScatterUB(p)
+	scatter, err := ev.ScatterUB(p)
 	if err != nil {
 		return fail(err)
 	}
-	lb, err := steady.MulticastLB(p)
+	lb, err := ev.MulticastLB(p)
 	if err != nil {
 		return fail(err)
 	}
-	bc, err := steady.BroadcastEB(platform.G, platform.Source)
+	bc, err := ev.BroadcastEB(platform.G, platform.Source)
 	if err != nil {
 		return fail(err)
 	}
@@ -267,7 +271,31 @@ func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, r
 		}
 		res.Periods[h.Name] = hr.Period
 	}
+	res.Stats = ev.Stats()
 	return res
+}
+
+// Errors joins the per-task failures of a sweep (nil when every task
+// succeeded) — the shared fold behind Run and the CLIs' partial-failure
+// warnings.
+func Errors(results []TaskResult) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AggregateStats folds the per-task solver statistics of a sweep into
+// one total (failed tasks included: their solves happened too).
+func AggregateStats(results []TaskResult) steady.SolveStats {
+	var total steady.SolveStats
+	for i := range results {
+		total.Add(results[i].Stats)
+	}
+	return total
 }
 
 // Aggregate folds task results into one Cell per (density, series),

@@ -42,13 +42,18 @@ type Result struct {
 	// nil for the LP-based heuristics, whose schedules are flow-shaped.
 	Tree *tree.Tree
 	// Sources lists the promoted secondary sources (AUGMENTED SOURCES),
-	// in promotion order and excluding the primary source.
+	// excluding the primary source. The order is the (deterministic)
+	// promotion order.
 	Sources []graph.NodeID
 	// Kept lists the platform nodes retained (REDUCED BROADCAST) or
-	// included (AUGMENTED MULTICAST) in the final broadcast platform.
+	// included (AUGMENTED MULTICAST) in the final broadcast platform,
+	// in increasing node-ID order.
 	Kept []graph.NodeID
-	// Evals counts the LP/bound evaluations performed.
+	// Evals counts the LP/bound evaluations performed (including those
+	// answered by an evaluator's cache).
 	Evals int
+	// Stats carries the LP-solver statistics of the run's evaluator.
+	Stats steady.SolveStats
 }
 
 // Throughput returns 1/Period (0 when the heuristic failed to find a
@@ -67,13 +72,30 @@ type Heuristic struct {
 }
 
 // All returns the paper's heuristic set in the order of Figure 11's
-// legend (MCPH, Augm. MC, Red. BC, Multisource MC).
-func All() []Heuristic {
+// legend (MCPH, Augm. MC, Red. BC, Multisource MC). Every run uses a
+// private bound evaluator; use AllWith to share one across heuristics.
+func All() []Heuristic { return AllWith(nil) }
+
+// AllWith returns the paper's heuristic set bound to a shared
+// steady.Evaluator, so the heuristics of one experiment cell reuse
+// each other's cached bounds, pooled cuts and LP workspace. A nil
+// evaluator gives each run a private one. The evaluator (and hence the
+// returned heuristics) must not be shared between goroutines.
+func AllWith(ev *steady.Evaluator) []Heuristic {
+	bind := func(f func(*steady.Evaluator, steady.Problem) (*Result, error)) func(steady.Problem) (*Result, error) {
+		return func(p steady.Problem) (*Result, error) {
+			e := ev
+			if e == nil {
+				e = steady.NewEvaluator()
+			}
+			return f(e, p)
+		}
+	}
 	return []Heuristic{
 		{Name: "MCPH", Run: MCPH},
-		{Name: "Augm. MC", Run: AugmentedMulticast},
-		{Name: "Red. BC", Run: ReducedBroadcast},
-		{Name: "Multisource MC", Run: AugmentedSources},
+		{Name: "Augm. MC", Run: bind(augmentedMulticast)},
+		{Name: "Red. BC", Run: bind(reducedBroadcast)},
+		{Name: "Multisource MC", Run: bind(augmentedSources)},
 	}
 }
 
@@ -169,9 +191,21 @@ func mcph(p steady.Problem, portAwareCosts bool) (*Result, error) {
 // per-target traffic in the current Broadcast-EB solution, as long as
 // the broadcast period does not degrade.
 func ReducedBroadcast(p steady.Problem) (*Result, error) {
+	return ReducedBroadcastWith(steady.NewEvaluator(), p)
+}
+
+// ReducedBroadcastWith is ReducedBroadcast on a caller-supplied
+// evaluator, whose cache and cut pools make the drop/re-broadcast
+// inner loop incremental.
+func ReducedBroadcastWith(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
+	return reducedBroadcast(ev, p)
+}
+
+func reducedBroadcast(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
 	g := p.G.Clone()
 	res := &Result{Name: "Red. BC"}
-	best, err := steady.BroadcastEB(g, p.Source)
+	before := ev.Stats()
+	best, err := ev.BroadcastEB(g, p.Source)
 	res.Evals++
 	if err != nil {
 		return nil, err
@@ -184,29 +218,31 @@ func ReducedBroadcast(p steady.Problem) (*Result, error) {
 		improved = false
 		order := scoreCandidates(g, best, p, candidatesNotFixed(g, isFixed), false)
 		for _, m := range order {
-			g.Deactivate(m)
 			// Never disconnect the multicast targets: with an infinite
 			// incumbent (stray unreachable nodes) any removal would
 			// otherwise "not degrade" the period.
-			if !g.ReachesAll(p.Source, p.Targets) {
-				g.Activate(m)
+			g.Deactivate(m)
+			reaches := g.ReachesAll(p.Source, p.Targets)
+			g.Activate(m)
+			if !reaches {
 				continue
 			}
-			trial, err := steady.BroadcastEB(g, p.Source)
+			trial, err := ev.DropNodeBroadcast(g, p.Source, m)
 			res.Evals++
 			if err != nil {
 				return nil, err
 			}
 			if trial.Period <= best.Period+improveTol*(1+best.Period) {
+				g.Deactivate(m) // commit the trial
 				best = trial
 				improved = true
 				break
 			}
-			g.Activate(m)
 		}
 	}
 	res.Period = best.Period
-	res.Kept = g.ActiveNodes()
+	res.Kept = keptNodes(g)
+	res.Stats = ev.Stats().Delta(before)
 	return res, nil
 }
 
@@ -215,9 +251,21 @@ func ReducedBroadcast(p steady.Problem) (*Result, error) {
 // the nodes carrying the most per-target traffic in the full-platform
 // Multicast-LB solution, while this does not degrade the period.
 func AugmentedMulticast(p steady.Problem) (*Result, error) {
+	return AugmentedMulticastWith(steady.NewEvaluator(), p)
+}
+
+// AugmentedMulticastWith is AugmentedMulticast on a caller-supplied
+// evaluator, whose cache and cut pools make the add/re-broadcast inner
+// loop incremental.
+func AugmentedMulticastWith(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
+	return augmentedMulticast(ev, p)
+}
+
+func augmentedMulticast(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
 	full := p.G
 	res := &Result{Name: "Augm. MC"}
-	lb, err := steady.MulticastLB(p)
+	before := ev.Stats()
+	lb, err := ev.MulticastLB(p)
 	res.Evals++
 	if err != nil {
 		return nil, err
@@ -232,7 +280,7 @@ func AugmentedMulticast(p steady.Problem) (*Result, error) {
 
 	g := full.Clone()
 	g.Restrict(kept)
-	best, err := steady.BroadcastEB(g, p.Source)
+	best, err := ev.BroadcastEB(g, p.Source)
 	res.Evals++
 	if err != nil {
 		return nil, err
@@ -243,23 +291,23 @@ func AugmentedMulticast(p steady.Problem) (*Result, error) {
 			if inSet[m] {
 				continue
 			}
-			g.Activate(m)
-			trial, err := steady.BroadcastEB(g, p.Source)
+			trial, err := ev.AddNodeBroadcast(g, p.Source, m)
 			res.Evals++
 			if err != nil {
 				return nil, err
 			}
 			if trial.Period <= best.Period+improveTol*(1+best.Period) {
+				g.Activate(m) // commit the trial
 				best = trial
 				inSet[m] = true
 				improved = true
 				break
 			}
-			g.Deactivate(m)
 		}
 	}
 	res.Period = best.Period
-	res.Kept = g.ActiveNodes()
+	res.Kept = keptNodes(g)
+	res.Stats = ev.Stats().Delta(before)
 	return res, nil
 }
 
@@ -268,10 +316,22 @@ func AugmentedMulticast(p steady.Problem) (*Result, error) {
 // traffic in the current MulticastMultiSource-UB solution to a
 // secondary source, while this does not degrade the period.
 func AugmentedSources(p steady.Problem) (*Result, error) {
+	return AugmentedSourcesWith(steady.NewEvaluator(), p)
+}
+
+// AugmentedSourcesWith is AugmentedSources on a caller-supplied
+// evaluator, whose path-column pool makes each promotion trial an
+// incremental re-solve of the multisource master.
+func AugmentedSourcesWith(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
+	return augmentedSources(ev, p)
+}
+
+func augmentedSources(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
 	g := p.G
 	res := &Result{Name: "Multisource MC"}
+	before := ev.Stats()
 	var sources []graph.NodeID
-	best, err := steady.MultiSourceUB(p, sources)
+	best, err := ev.MultiSourceUB(p, sources)
 	res.Evals++
 	if err != nil {
 		return nil, err
@@ -299,7 +359,7 @@ func AugmentedSources(p steady.Problem) (*Result, error) {
 			return order[i].node < order[j].node
 		})
 		for _, cand := range order {
-			trial, err := steady.MultiSourceUB(p, append(sources, cand.node))
+			trial, err := ev.PromoteSource(p, sources, cand.node)
 			res.Evals++
 			if err != nil {
 				return nil, err
@@ -319,7 +379,17 @@ func AugmentedSources(p steady.Problem) (*Result, error) {
 	}
 	res.Period = best.Period
 	res.Sources = sources
+	res.Stats = ev.Stats().Delta(before)
 	return res, nil
+}
+
+// keptNodes returns the active node set in increasing node-ID order
+// (ActiveNodes already scans in ID order; the sort pins the contract
+// for Result.Kept regardless of how the platform was built).
+func keptNodes(g *graph.Graph) []graph.NodeID {
+	kept := g.ActiveNodes()
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	return kept
 }
 
 // candidatesNotFixed returns the active nodes outside the fixed set.

@@ -1,5 +1,6 @@
 // Package lp implements a small linear-programming toolkit: a sparse
-// model builder and a dense two-phase primal simplex solver.
+// model builder and a sparse revised-simplex solver with reusable
+// workspaces and warm starts.
 //
 // The paper's bounds and heuristics (Multicast-LB, Multicast-UB,
 // Broadcast-EB, MulticastMultiSource-UB and the exact tree-packing
@@ -8,13 +9,35 @@
 // not provide, so this package rebuilds the required machinery from
 // scratch. Variables are non-negative; rows may be <=, >= or =;
 // objectives may be minimised or maximised. Dual values are exposed,
-// which the column-generation solver in internal/tree requires.
+// which the column-generation solvers in internal/tree and
+// internal/steady require.
+//
+// # Solver engine
+//
+// The engine is a revised simplex over column-wise sparse storage (see
+// DESIGN.md Section 5): instead of carrying a dense m x total tableau,
+// it maintains only the m x m basis inverse, priced against the sparse
+// constraint columns. A Workspace owns every scratch allocation — the
+// basis inverse, iterate vectors and the compiled column store — and is
+// reusable across solves, so hot loops (cutting planes, column
+// generation, heuristic search) stop paying allocation and phase-1
+// costs on every re-solve:
+//
+//   - Solve() is the one-shot entry point (fresh workspace, cold start).
+//   - SolveWith(ws) reuses a workspace's allocations but still starts
+//     cold.
+//   - SolveFrom(ws, basis) warm-starts from a previous optimal basis.
+//     Rows appended since the basis was captured enter the basis on
+//     their slack and any resulting primal infeasibility is repaired by
+//     dual-simplex pivots; columns appended since then are priced
+//     directly by the primal. A stale or unusable basis silently falls
+//     back to a cold solve, so SolveFrom is never less robust than
+//     Solve.
 package lp
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Eps is the pivot tolerance of the simplex solver.
@@ -82,6 +105,11 @@ type row struct {
 
 // Model is a linear program under construction. All variables are
 // implicitly bounded below by zero.
+//
+// A model may keep growing after a solve: AddRow and AddVar extend it
+// in place, and SolveFrom re-solves the extended program from the
+// previous optimal basis. Existing rows and objective coefficients must
+// not change between warm-started solves.
 type Model struct {
 	obj      []float64
 	names    []string
@@ -121,13 +149,64 @@ func (m *Model) AddRow(sense Sense, rhs float64, terms ...Term) int {
 	return len(m.rows) - 1
 }
 
+// RowCoef is one entry of a column under construction: a coefficient
+// in an already-added row.
+type RowCoef struct {
+	Row  int
+	Coef float64
+}
+
+// AddColumn adds a non-negative variable together with its
+// coefficients in existing rows and returns its index. It is the
+// column-generation counterpart of AddRow: a master problem can grow
+// one priced-in column at a time and re-solve warm via SolveFrom,
+// because appending a column leaves every previous column — and hence
+// the previous basis — intact.
+func (m *Model) AddColumn(objCoef float64, name string, entries ...RowCoef) int {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= len(m.rows) {
+			panic(fmt.Sprintf("lp: column references unknown row %d", e.Row))
+		}
+	}
+	j := m.AddVar(objCoef, name)
+	for _, e := range entries {
+		m.rows[e.Row].terms = append(m.rows[e.Row].terms, Term{Var: j, Coef: e.Coef})
+	}
+	return j
+}
+
+// Basis identifies the basic variable of every constraint row at the
+// end of a solve, in a representation that stays meaningful while the
+// model grows (appending rows or variables does not invalidate it).
+// It is opaque: obtain one from Solution.Basis and pass it back to
+// SolveFrom.
+type Basis struct {
+	cols []int // >= 0: structural variable; < 0: unit column ^enc of a row
+}
+
+// Empty reports whether the basis carries no information (the zero
+// Basis); SolveFrom treats an empty basis as a cold start.
+func (b Basis) Empty() bool { return len(b.cols) == 0 }
+
+// Rows returns the number of constraint rows the basis covers.
+func (b Basis) Rows() int { return len(b.cols) }
+
 // Solution is the result of solving a model.
 type Solution struct {
 	Status     Status
 	Objective  float64   // in the model's own sense (negated back for maximisation)
 	X          []float64 // one value per variable
 	Dual       []float64 // one value per row; see the Dual convention below
-	Iterations int
+	Iterations int       // simplex pivots performed (primal + dual)
+	// DualIterations counts the dual-simplex cleanup pivots of a warm
+	// start (included in Iterations).
+	DualIterations int
+	// WarmStarted reports whether the solve reused the caller's basis
+	// rather than falling back to a cold start.
+	WarmStarted bool
+	// Basis is the optimal basis, reusable by SolveFrom after the model
+	// has grown. Only populated for Optimal solutions.
+	Basis Basis
 }
 
 // Dual convention: for a minimisation model the duals y satisfy
@@ -141,7 +220,8 @@ type Solution struct {
 // within its iteration budget (indicative of severe cycling).
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
-// Solve runs the two-phase primal simplex and returns the solution.
+// Solve runs the two-phase revised simplex from a cold start on a
+// fresh workspace and returns the solution.
 //
 // Heavily degenerate programs (the steady-state flow LPs have hundreds
 // of zero right-hand sides) can trap the simplex on a degenerate
@@ -149,210 +229,47 @@ var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 // deterministic right-hand-side perturbation, the standard lexicographic
 // workaround, at the cost of O(1e-8)-relative noise on the result.
 func (m *Model) Solve() (*Solution, error) {
-	sol, err := m.solveOnce(0)
+	return m.SolveWith(nil)
+}
+
+// SolveWith runs a cold two-phase solve reusing the workspace's scratch
+// allocations (a nil workspace allocates a private one). The workspace
+// must not be shared between goroutines.
+func (m *Model) SolveWith(ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	sol, err := ws.solveCold(m, 0)
 	if errors.Is(err, ErrIterationLimit) {
-		sol, err = m.solveOnce(1e-7)
+		sol, err = ws.solveCold(m, 1e-7)
 	}
 	return sol, err
 }
 
-func (m *Model) solveOnce(perturb float64) (*Solution, error) {
-	n := len(m.obj)
-	nrows := len(m.rows)
-	prng := newXorshift(uint64(nrows)*0x9e3779b9 + uint64(n) + 7)
-
-	obj := make([]float64, n)
-	copy(obj, m.obj)
-	if m.maximize {
-		for j := range obj {
-			obj[j] = -obj[j]
-		}
+// SolveFrom re-solves the model warm-starting from a basis captured by
+// an earlier solve of the same (possibly since grown) model. Appended
+// rows must be inequalities; their slacks complete the basis and any
+// primal infeasibility they introduce is repaired by dual-simplex
+// pivots before the primal finishes the solve. Whenever the basis
+// cannot be reused — unknown columns, appended equality rows, a
+// singular or dual-infeasible basis, or any numerical trouble on the
+// warm path — SolveFrom falls back to the cold path of SolveWith.
+func (m *Model) SolveFrom(ws *Workspace, basis Basis) (*Solution, error) {
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-
-	// Column layout: [0,n) structural, [n, n+nslack) slack/surplus,
-	// [n+nslack, total) artificial. One slack per LE/GE row.
-	nslack := 0
-	for _, r := range m.rows {
-		if r.sense != EQ {
-			nslack++
+	if !basis.Empty() {
+		ws.stats.WarmAttempts++
+		sol, ok, err := ws.solveWarm(m, basis)
+		if err != nil {
+			return nil, err
 		}
-	}
-
-	t := &tableau{
-		n:       n,
-		m:       nrows,
-		rowOf:   make([]int, nrows),
-		sign:    make([]float64, nrows),
-		basis:   make([]int, nrows),
-		rhs:     make([]float64, nrows),
-		dead:    make([]bool, nrows),
-		slackOf: make([]int, nrows),
-	}
-
-	// Build dense rows with slacks, normalised to rhs >= 0.
-	nart := 0
-	artOf := make([]int, nrows) // artificial column per row, or -1
-	slackCol := n
-	for i, r := range m.rows {
-		t.rowOf[i] = i
-		t.sign[i] = 1
-		t.slackOf[i] = -1
-		artOf[i] = -1
-		dense := make([]float64, n)
-		for _, tm := range r.terms {
-			dense[tm.Var] += tm.Coef
-		}
-		rhs := r.rhs
-		if perturb > 0 {
-			rhs += perturb * (1 + math.Abs(rhs)) * (1 + float64(prng.intn(1000))/1000)
-		}
-		slackCoef := 0.0
-		switch r.sense {
-		case LE:
-			slackCoef = 1
-		case GE:
-			slackCoef = -1
-		}
-		if rhs < 0 {
-			for j := range dense {
-				dense[j] = -dense[j]
-			}
-			rhs = -rhs
-			slackCoef = -slackCoef
-			t.sign[i] = -1
-		}
-		col := -1
-		if r.sense != EQ {
-			col = slackCol
-			slackCol++
-			t.slackOf[i] = col
-		}
-		if col < 0 || slackCoef < 0 {
-			// EQ row, or a slack that cannot start basic: needs an artificial.
-			nart++
-		}
-		t.denseRows = append(t.denseRows, dense)
-		t.rhs[i] = rhs
-		t.slackCoef = append(t.slackCoef, slackCoef)
-	}
-
-	total := n + nslack + nart
-	t.total = total
-	t.a = make([]float64, nrows*total)
-	t.artStart = n + nslack
-	artCol := t.artStart
-	for i := range m.rows {
-		rowBase := i * total
-		copy(t.a[rowBase:rowBase+n], t.denseRows[i])
-		if c := t.slackOf[i]; c >= 0 {
-			t.a[rowBase+c] = t.slackCoef[i]
-		}
-		if t.slackOf[i] >= 0 && t.slackCoef[i] > 0 {
-			t.basis[i] = t.slackOf[i]
-		} else {
-			t.a[rowBase+artCol] = 1
-			artOf[i] = artCol
-			t.basis[i] = artCol
-			artCol++
-		}
-	}
-	t.denseRows = nil
-
-	t.improveEps = Eps
-	if perturb > 0 {
-		// Perturbed pivots make strictly positive but sub-Eps progress;
-		// any strict decrease counts, otherwise the stall bailout would
-		// defeat the perturbation.
-		t.improveEps = 0
-	}
-
-	sol := &Solution{X: make([]float64, n), Dual: make([]float64, nrows)}
-
-	// Phase 1: minimise the sum of artificials.
-	if nart > 0 {
-		p1 := make([]float64, total)
-		for i := range m.rows {
-			if artOf[i] >= 0 {
-				p1[artOf[i]] = 1
-			}
-		}
-		t.setObjective(p1)
-		// The artificial sum can never drop below zero: stop at the
-		// feasibility threshold (with its perturbation slack).
-		phase1Stop := feasTol / 2
-		if perturb > 0 {
-			phase1Stop = feasTol
-		}
-		iters, status := t.iterate(t.artStart, phase1Stop) // artificials may leave but not re-enter
-		sol.Iterations += iters
-		if status == statusIterLimit {
-			return nil, fmt.Errorf("%w (phase 1, m=%d total=%d)", ErrIterationLimit, t.m, t.total)
-		}
-		slack := feasTol
-		if perturb > 0 {
-			for _, r := range t.rhs {
-				slack += 2 * perturb * (2 + math.Abs(r))
-			}
-		}
-		if t.objValue() > slack {
-			sol.Status = Infeasible
+		if ok {
+			ws.stats.WarmHits++
 			return sol, nil
 		}
-		t.evictArtificials(t.artStart)
 	}
-
-	// Phase 2: minimise the true objective; artificials are banned.
-	p2 := make([]float64, total)
-	copy(p2, obj)
-	t.setObjective(p2)
-	iters, status := t.iterate(t.artStart, math.Inf(-1))
-	sol.Iterations += iters
-	switch status {
-	case statusIterLimit:
-		return nil, fmt.Errorf("%w (phase 2, m=%d total=%d)", ErrIterationLimit, t.m, t.total)
-	case statusUnbounded:
-		sol.Status = Unbounded
-		return sol, nil
-	}
-
-	// Extract the primal solution.
-	for i, b := range t.basis {
-		if b < n {
-			sol.X[b] = t.rhs[i]
-		}
-	}
-	objVal := 0.0
-	for j, c := range obj {
-		objVal += c * sol.X[j]
-	}
-	if m.maximize {
-		sol.Objective = -objVal
-	} else {
-		sol.Objective = objVal
-	}
-
-	// Extract duals from the reduced costs of slack and artificial
-	// columns: for a +slack column, y_i = -redcost; for an artificial
-	// (EQ rows, or rows whose slack entered with -1), y_i = -redcost of
-	// the artificial. Row negation during normalisation flips the sign.
-	for i := range m.rows {
-		var y float64
-		switch {
-		case t.slackOf[i] >= 0 && t.slackCoef[i] > 0:
-			y = -t.objRow[t.slackOf[i]]
-		case t.slackOf[i] >= 0: // slack entered with coefficient -1
-			y = t.objRow[t.slackOf[i]]
-		default: // EQ row: use the artificial column
-			y = -t.objRow[artOf[i]]
-		}
-		y *= t.sign[i]
-		if m.maximize {
-			y = -y
-		}
-		sol.Dual[i] = y
-	}
-	sol.Status = Optimal
-	return sol, nil
+	return m.SolveWith(ws)
 }
 
 // mustSolve is a convenience used in tests and internal callers that
@@ -363,158 +280,6 @@ func (m *Model) mustSolve() *Solution {
 		panic(err)
 	}
 	return s
-}
-
-type iterStatus int
-
-const (
-	statusOptimal iterStatus = iota
-	statusUnbounded
-	statusIterLimit
-)
-
-type tableau struct {
-	n, m, total int
-	improveEps  float64   // objective decrease that counts as progress
-	a           []float64 // m x total, row-major
-	rhs         []float64
-	basis       []int
-	objRow      []float64
-	objRHS      float64
-	dead        []bool
-
-	rowOf     []int
-	sign      []float64
-	slackOf   []int
-	slackCoef []float64
-	artStart  int
-	denseRows [][]float64
-}
-
-func (t *tableau) row(i int) []float64 { return t.a[i*t.total : (i+1)*t.total] }
-
-// setObjective installs a fresh objective row (costs over all columns)
-// and prices it out against the current basis.
-func (t *tableau) setObjective(cost []float64) {
-	t.objRow = make([]float64, t.total)
-	copy(t.objRow, cost)
-	t.objRHS = 0
-	for i, b := range t.basis {
-		cb := cost[b]
-		if cb == 0 {
-			continue
-		}
-		r := t.row(i)
-		for j := range t.objRow {
-			t.objRow[j] -= cb * r[j]
-		}
-		t.objRHS -= cb * t.rhs[i]
-	}
-}
-
-// objValue returns the current objective value (min sense).
-func (t *tableau) objValue() float64 { return -t.objRHS }
-
-// iterate runs simplex pivots until optimality, unboundedness, the
-// iteration cap, or until the objective reaches stopBelow (a known
-// lower bound on the objective; phase 1 passes its feasibility
-// threshold so a feasible-at-start program exits immediately instead
-// of pivoting around a degenerate optimum). Columns >= banStart may
-// never enter the basis.
-//
-// Pricing starts with Dantzig's rule; under prolonged degeneracy it
-// falls back to a seeded random-edge rule (which escapes cycles with
-// probability one and is far faster than Bland in practice), and
-// finally to Bland's rule with a widened zero tolerance.
-func (t *tableau) iterate(banStart int, stopBelow float64) (int, iterStatus) {
-	maxIter := 200*(t.m+t.total) + 2000
-	if t.improveEps == 0 {
-		// Perturbed rescue attempt: cap the effort so a pathological
-		// program fails in seconds rather than minutes.
-		maxIter = 40*(t.m+t.total) + 2000
-	}
-	stall := 0
-	mode := pricingDantzig
-	rng := newXorshift(uint64(t.m)*2654435761 + uint64(t.total) + 1)
-	lastObj := t.objValue()
-	stallLimit := 8*(t.m+t.total) + 500
-	for iter := 0; iter < maxIter; iter++ {
-		if t.objValue() <= stopBelow {
-			return iter, statusOptimal
-		}
-		if stall > stallLimit {
-			// Hopeless degenerate plateau: bail out so Solve can retry
-			// with a perturbed right-hand side.
-			return iter, statusIterLimit
-		}
-		enter := t.chooseEntering(banStart, mode, rng)
-		if enter < 0 {
-			return iter, statusOptimal
-		}
-		leave := t.chooseLeaving(enter, mode == pricingBland)
-		if leave < 0 {
-			return iter, statusUnbounded
-		}
-		t.pivot(leave, enter)
-		if obj := t.objValue(); obj < lastObj-t.improveEps {
-			lastObj = obj
-			stall = 0
-			mode = pricingDantzig
-		} else {
-			stall++
-			switch {
-			case stall > 4*(t.m+50):
-				mode = pricingBland
-			case stall > t.m/4+20:
-				mode = pricingRandom
-			}
-		}
-	}
-	return maxIter, statusIterLimit
-}
-
-type pricingMode int
-
-const (
-	pricingDantzig pricingMode = iota
-	pricingRandom
-	pricingBland
-)
-
-// blandEps is the widened zero tolerance used in Bland mode, so that
-// reduced costs oscillating within float noise do not re-enter.
-const blandEps = 1e-8
-
-func (t *tableau) chooseEntering(banStart int, mode pricingMode, rng *xorshift) int {
-	switch mode {
-	case pricingBland:
-		for j := 0; j < banStart; j++ {
-			if t.objRow[j] < -blandEps {
-				return j
-			}
-		}
-		return -1
-	case pricingRandom:
-		// Reservoir-sample uniformly among improving columns.
-		count, pick := 0, -1
-		for j := 0; j < banStart; j++ {
-			if t.objRow[j] < -Eps {
-				count++
-				if rng.intn(count) == 0 {
-					pick = j
-				}
-			}
-		}
-		return pick
-	default:
-		best, bestVal := -1, -Eps
-		for j := 0; j < banStart; j++ {
-			if v := t.objRow[j]; v < bestVal {
-				best, bestVal = j, v
-			}
-		}
-		return best
-	}
 }
 
 // xorshift is a tiny deterministic PRNG so the solver needs no
@@ -536,112 +301,3 @@ func (x *xorshift) next() uint64 {
 }
 
 func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
-
-// chooseLeaving runs a Harris-style two-pass ratio test: find the
-// minimum ratio, then among rows within tolerance of it pick the
-// largest pivot element (numerical stability). In Bland mode the
-// tie-break switches to the smallest basis index, which guarantees
-// termination under degeneracy.
-func (t *tableau) chooseLeaving(enter int, bland bool) int {
-	bestRatio := math.Inf(1)
-	for i := 0; i < t.m; i++ {
-		if t.dead[i] {
-			continue
-		}
-		coef := t.a[i*t.total+enter]
-		if coef <= Eps {
-			continue
-		}
-		if ratio := t.rhs[i] / coef; ratio < bestRatio {
-			bestRatio = ratio
-		}
-	}
-	if math.IsInf(bestRatio, 1) {
-		return -1
-	}
-	tol := Eps * (1 + math.Abs(bestRatio))
-	best := -1
-	bestCoef := 0.0
-	for i := 0; i < t.m; i++ {
-		if t.dead[i] {
-			continue
-		}
-		coef := t.a[i*t.total+enter]
-		if coef <= Eps {
-			continue
-		}
-		if t.rhs[i]/coef > bestRatio+tol {
-			continue
-		}
-		if bland {
-			if best < 0 || t.basis[i] < t.basis[best] {
-				best = i
-			}
-		} else if coef > bestCoef {
-			best, bestCoef = i, coef
-		}
-	}
-	return best
-}
-
-func (t *tableau) pivot(leave, enter int) {
-	prow := t.row(leave)
-	pv := prow[enter]
-	inv := 1 / pv
-	for j := range prow {
-		prow[j] *= inv
-	}
-	prow[enter] = 1 // avoid drift
-	t.rhs[leave] *= inv
-	for i := 0; i < t.m; i++ {
-		if i == leave {
-			continue
-		}
-		r := t.row(i)
-		f := r[enter]
-		if f == 0 {
-			continue
-		}
-		for j := range r {
-			r[j] -= f * prow[j]
-		}
-		r[enter] = 0
-		t.rhs[i] -= f * t.rhs[leave]
-		if t.rhs[i] < 0 && t.rhs[i] > -Eps {
-			t.rhs[i] = 0
-		}
-	}
-	f := t.objRow[enter]
-	if f != 0 {
-		for j := range t.objRow {
-			t.objRow[j] -= f * prow[j]
-		}
-		t.objRow[enter] = 0
-		t.objRHS -= f * t.rhs[leave]
-	}
-	t.basis[leave] = enter
-}
-
-// evictArtificials pivots basic artificial variables (value ~0 after a
-// successful phase 1) out of the basis, or marks their rows dead when
-// the row is redundant.
-func (t *tableau) evictArtificials(artStart int) {
-	for i := 0; i < t.m; i++ {
-		if t.dead[i] || t.basis[i] < artStart {
-			continue
-		}
-		r := t.row(i)
-		pivotCol := -1
-		for j := 0; j < artStart; j++ {
-			if math.Abs(r[j]) > 1e-7 {
-				pivotCol = j
-				break
-			}
-		}
-		if pivotCol < 0 {
-			t.dead[i] = true // redundant constraint
-			continue
-		}
-		t.pivot(i, pivotCol)
-	}
-}

@@ -1,0 +1,1074 @@
+package lp
+
+// The revised simplex engine. The constraint matrix is compiled once
+// per solve into column-wise sparse storage; iterations maintain only
+// the dense m x m basis inverse (column-major, so FTRAN and the pivot
+// update walk contiguous memory) plus the basic-value vector. Logical
+// columns — slack, surplus and artificial — are implicit unit columns
+// and never stored.
+//
+// Column code space, for n structural variables and m rows:
+//
+//	[0, n)          structural variable j
+//	n + 2i          the +e_i unit column of row i
+//	n + 2i + 1      the -e_i unit column of row i
+//
+// Whether a unit column is the row's slack (cost 0, may enter the
+// basis) or an artificial (phase-1 cost 1, may start basic but never
+// enters) depends on the row sense: a <= row relaxes along +e_i, a >=
+// row along -e_i, and an = row owns no slack at all. The cold start
+// picks, per row, whichever unit column is feasible for the sign of the
+// right-hand side; phase 1 is needed exactly when some of those picks
+// are artificials.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// refactorRowCap bounds the problem size for which a stale warm-start
+// basis is refactorised from scratch (O(m^3)); beyond it SolveFrom
+// falls straight back to a cold solve.
+const refactorRowCap = 1500
+
+// blandEps is the widened zero tolerance used in Bland mode, so that
+// reduced costs oscillating within float noise do not re-enter.
+const blandEps = 1e-8
+
+// WorkspaceStats accumulates solver activity over the lifetime of a
+// Workspace.
+type WorkspaceStats struct {
+	Solves           int // solves that ran the iteration loop (cold or warm)
+	ColdSolves       int // cold two-phase solves (including warm-start fallbacks)
+	WarmAttempts     int // SolveFrom calls that carried a basis
+	WarmHits         int // warm starts that completed on the warm path
+	Refactorizations int // basis inverses rebuilt from scratch
+	Iterations       int // primal simplex pivots
+	DualIterations   int // dual simplex pivots
+}
+
+// Workspace owns every scratch allocation of the revised simplex — the
+// compiled sparse columns, the basis inverse and the iterate vectors —
+// so repeated solves reuse memory instead of reallocating per call,
+// and warm starts can reuse the previous basis inverse outright. A
+// Workspace must not be used from multiple goroutines concurrently.
+type Workspace struct {
+	// Compiled model, standardised to min sense.
+	n, m   int
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+	obj    []float64 // structural costs, min sense
+	rhs    []float64
+	sense  []Sense
+
+	// Factorisation and iterate state.
+	binv     []float64 // m x m basis inverse, column-major: binv[k*m+i] = (B^-1)[i][k]
+	basis    []int     // column code per row
+	basisPos []int     // column code -> basis row, or -1
+	xb       []float64 // basic variable values
+	cb       []float64 // basic costs under the current phase
+	y        []float64 // simplex multipliers c_B . B^-1
+	w        []float64 // FTRAN result B^-1 . A_enter
+	rho      []float64 // a row of B^-1 (dual simplex, eviction)
+	nzcb     []int32   // rows with nonzero basic cost
+
+	// Compilation scratch.
+	stamp []int32
+	slot  []int32
+	tmp   []float64
+
+	// Warm-start bookkeeping: the model, row count and (encoded) basis
+	// the current binv corresponds to.
+	lastModel *Model
+	lastRows  int
+	lastBasis []int
+	haveBinv  bool
+
+	phase      int
+	improveEps float64
+	rng        *xorshift
+	stats      WorkspaceStats
+}
+
+// NewWorkspace returns an empty solver workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Stats returns the cumulative solver statistics of this workspace.
+func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growFKeep grows like growF but preserves the existing prefix, for
+// buffers whose old contents the caller still needs (the basis inverse
+// across a warm-start extension).
+func growFKeep(s []float64, n int) []float64 {
+	if cap(s) < n {
+		ns := make([]float64, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// compile standardises the model into the workspace: min-sense
+// objective, per-row rhs/sense, and the structural columns in CSC form
+// with duplicate terms per row summed.
+func (ws *Workspace) compile(mdl *Model, perturb float64) {
+	n := len(mdl.obj)
+	m := len(mdl.rows)
+	ws.n, ws.m = n, m
+
+	ws.obj = growF(ws.obj, n)
+	copy(ws.obj, mdl.obj)
+	if mdl.maximize {
+		for j := range ws.obj {
+			ws.obj[j] = -ws.obj[j]
+		}
+	}
+	prng := newXorshift(uint64(m)*0x9e3779b9 + uint64(n) + 7)
+	ws.rhs = growF(ws.rhs, m)
+	if cap(ws.sense) < m {
+		ws.sense = make([]Sense, m)
+	}
+	ws.sense = ws.sense[:m]
+	for i := range mdl.rows {
+		r := mdl.rows[i].rhs
+		if perturb > 0 {
+			r += perturb * (1 + math.Abs(r)) * (1 + float64(prng.intn(1000))/1000)
+		}
+		ws.rhs[i] = r
+		ws.sense[i] = mdl.rows[i].sense
+	}
+
+	// Count deduped entries, then fill the CSC arrays. stamp[v] holds
+	// the last row that touched variable v; slot[v] its entry index.
+	ws.stamp = growI32(ws.stamp, n)
+	ws.slot = growI32(ws.slot, n)
+	for j := range ws.stamp {
+		ws.stamp[j] = -1
+	}
+	ws.colPtr = growI32(ws.colPtr, n+1)
+	for j := range ws.colPtr {
+		ws.colPtr[j] = 0
+	}
+	nnz := 0
+	for i := range mdl.rows {
+		for _, t := range mdl.rows[i].terms {
+			if ws.stamp[t.Var] != int32(i) {
+				ws.stamp[t.Var] = int32(i)
+				ws.colPtr[t.Var+1]++
+				nnz++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		ws.colPtr[j+1] += ws.colPtr[j]
+	}
+	ws.colRow = growI32(ws.colRow, nnz)
+	ws.colVal = growF(ws.colVal, nnz)
+	next := ws.slot // reuse as per-column fill cursor
+	for j := 0; j < n; j++ {
+		next[j] = ws.colPtr[j]
+	}
+	for j := range ws.stamp {
+		ws.stamp[j] = -1
+	}
+	for i := range mdl.rows {
+		for _, t := range mdl.rows[i].terms {
+			if ws.stamp[t.Var] == int32(i) {
+				// Duplicate within the row: sum into the open entry.
+				ws.colVal[next[t.Var]-1] += t.Coef
+				continue
+			}
+			ws.stamp[t.Var] = int32(i)
+			e := next[t.Var]
+			ws.colRow[e] = int32(i)
+			ws.colVal[e] = t.Coef
+			next[t.Var] = e + 1
+		}
+	}
+}
+
+// ensureIterState sizes the factorisation and iterate arrays for the
+// compiled model.
+func (ws *Workspace) ensureIterState() {
+	n, m := ws.n, ws.m
+	ws.binv = growFKeep(ws.binv, m*m)
+	ws.basis = growI(ws.basis, m)
+	ws.basisPos = growI(ws.basisPos, n+2*m)
+	ws.xb = growF(ws.xb, m)
+	ws.cb = growF(ws.cb, m)
+	ws.y = growF(ws.y, m)
+	ws.w = growF(ws.w, m)
+	ws.rho = growF(ws.rho, m)
+	for j := range ws.basisPos {
+		ws.basisPos[j] = -1
+	}
+}
+
+// Column-code helpers.
+
+func (ws *Workspace) unitRow(code int) int { return (code - ws.n) / 2 }
+
+func (ws *Workspace) unitSign(code int) float64 {
+	if (code-ws.n)%2 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// isSlack reports whether the unit column relaxes its row in the row's
+// natural direction (and so has cost 0 and may enter the basis).
+func (ws *Workspace) isSlack(code int) bool {
+	if code < ws.n {
+		return false
+	}
+	switch ws.sense[ws.unitRow(code)] {
+	case LE:
+		return ws.unitSign(code) > 0
+	case GE:
+		return ws.unitSign(code) < 0
+	}
+	return false
+}
+
+func (ws *Workspace) isArtificial(code int) bool {
+	return code >= ws.n && !ws.isSlack(code)
+}
+
+func (ws *Workspace) canEnter(code int) bool {
+	return code < ws.n || ws.isSlack(code)
+}
+
+// costOf returns the column's cost under the current phase.
+func (ws *Workspace) costOf(code int) float64 {
+	if ws.phase == 1 {
+		if ws.isArtificial(code) {
+			return 1
+		}
+		return 0
+	}
+	if code < ws.n {
+		return ws.obj[code]
+	}
+	return 0
+}
+
+func (ws *Workspace) setPhase(p int) {
+	ws.phase = p
+	for i := 0; i < ws.m; i++ {
+		ws.cb[i] = ws.costOf(ws.basis[i])
+	}
+}
+
+func (ws *Workspace) objValue() float64 {
+	v := 0.0
+	for i := 0; i < ws.m; i++ {
+		if c := ws.cb[i]; c != 0 {
+			v += c * ws.xb[i]
+		}
+	}
+	return v
+}
+
+// computeY prices the basis: y = c_B . B^-1.
+func (ws *Workspace) computeY() {
+	m := ws.m
+	nz := ws.nzcb[:0]
+	for i := 0; i < m; i++ {
+		if ws.cb[i] != 0 {
+			nz = append(nz, int32(i))
+		}
+	}
+	ws.nzcb = nz
+	for k := 0; k < m; k++ {
+		col := ws.binv[k*m : (k+1)*m]
+		acc := 0.0
+		for _, i := range nz {
+			acc += ws.cb[i] * col[i]
+		}
+		ws.y[k] = acc
+	}
+}
+
+// reducedCost returns d_j = c_j - y.A_j for the current phase; callers
+// must have refreshed y.
+func (ws *Workspace) reducedCost(code int) float64 {
+	if code < ws.n {
+		d := ws.costOf(code)
+		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+			d -= ws.y[ws.colRow[e]] * ws.colVal[e]
+		}
+		return d
+	}
+	return ws.costOf(code) - ws.unitSign(code)*ws.y[ws.unitRow(code)]
+}
+
+// ftran computes w = B^-1 . A_code.
+func (ws *Workspace) ftran(code int) {
+	m := ws.m
+	w := ws.w[:m]
+	if code >= ws.n {
+		i := ws.unitRow(code)
+		s := ws.unitSign(code)
+		col := ws.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			w[k] = s * col[k]
+		}
+		return
+	}
+	for k := range w {
+		w[k] = 0
+	}
+	for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+		v := ws.colVal[e]
+		col := ws.binv[int(ws.colRow[e])*m : (int(ws.colRow[e])+1)*m]
+		for i := 0; i < m; i++ {
+			w[i] += v * col[i]
+		}
+	}
+}
+
+// loadRho extracts row r of B^-1 into ws.rho.
+func (ws *Workspace) loadRho(r int) {
+	m := ws.m
+	for k := 0; k < m; k++ {
+		ws.rho[k] = ws.binv[k*m+r]
+	}
+}
+
+// rhoDot returns rho . A_code.
+func (ws *Workspace) rhoDot(code int) float64 {
+	if code >= ws.n {
+		return ws.unitSign(code) * ws.rho[ws.unitRow(code)]
+	}
+	acc := 0.0
+	for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+		acc += ws.rho[ws.colRow[e]] * ws.colVal[e]
+	}
+	return acc
+}
+
+// pivot brings column enter (with its FTRAN image already in ws.w) into
+// the basis at row leave, updating B^-1, the basic values and the
+// bookkeeping.
+func (ws *Workspace) pivot(leave, enter int) {
+	m := ws.m
+	w := ws.w[:m]
+	inv := 1 / w[leave]
+	theta := ws.xb[leave] * inv
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		if w[i] != 0 {
+			ws.xb[i] -= theta * w[i]
+			if ws.xb[i] < 0 && ws.xb[i] > -Eps {
+				ws.xb[i] = 0
+			}
+		}
+	}
+	ws.xb[leave] = theta
+	for k := 0; k < m; k++ {
+		col := ws.binv[k*m : (k+1)*m]
+		cr := col[leave] * inv
+		if cr == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			col[i] -= w[i] * cr
+		}
+		col[leave] = cr
+	}
+	ws.basisPos[ws.basis[leave]] = -1
+	ws.basis[leave] = enter
+	ws.basisPos[enter] = leave
+	ws.cb[leave] = ws.costOf(enter)
+}
+
+type iterStatus int
+
+const (
+	statusOptimal iterStatus = iota
+	statusUnbounded
+	statusIterLimit
+)
+
+type pricingMode int
+
+const (
+	pricingDantzig pricingMode = iota
+	pricingRandom
+	pricingBland
+)
+
+// chooseEntering scans the non-basic enterable columns under the given
+// pricing rule; y must be fresh. Returns -1 when no column prices in.
+func (ws *Workspace) chooseEntering(mode pricingMode) int {
+	total := ws.n + 2*ws.m
+	switch mode {
+	case pricingBland:
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			if ws.reducedCost(j) < -blandEps {
+				return j
+			}
+		}
+		return -1
+	case pricingRandom:
+		// Reservoir-sample uniformly among improving columns.
+		count, pick := 0, -1
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			if ws.reducedCost(j) < -Eps {
+				count++
+				if ws.rng.intn(count) == 0 {
+					pick = j
+				}
+			}
+		}
+		return pick
+	default:
+		best, bestVal := -1, -Eps
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			if v := ws.reducedCost(j); v < bestVal {
+				best, bestVal = j, v
+			}
+		}
+		return best
+	}
+}
+
+// chooseLeaving runs a Harris-style two-pass ratio test over ws.w: find
+// the minimum ratio, then among rows within tolerance of it pick the
+// largest pivot element (numerical stability). In Bland mode the
+// tie-break switches to the smallest basis column code, which
+// guarantees termination under degeneracy.
+func (ws *Workspace) chooseLeaving(bland bool) int {
+	m := ws.m
+	w := ws.w[:m]
+	bestRatio := math.Inf(1)
+	for i := 0; i < m; i++ {
+		if w[i] <= Eps {
+			continue
+		}
+		if ratio := ws.xb[i] / w[i]; ratio < bestRatio {
+			bestRatio = ratio
+		}
+	}
+	if math.IsInf(bestRatio, 1) {
+		return -1
+	}
+	tol := Eps * (1 + math.Abs(bestRatio))
+	best := -1
+	bestCoef := 0.0
+	for i := 0; i < m; i++ {
+		if w[i] <= Eps {
+			continue
+		}
+		if ws.xb[i]/w[i] > bestRatio+tol {
+			continue
+		}
+		if bland {
+			if best < 0 || ws.basis[i] < ws.basis[best] {
+				best = i
+			}
+		} else if w[i] > bestCoef {
+			best, bestCoef = i, w[i]
+		}
+	}
+	return best
+}
+
+// primal runs simplex pivots until optimality, unboundedness, the
+// iteration cap, or until the objective reaches stopBelow (a known
+// lower bound on the objective; phase 1 passes its feasibility
+// threshold so a feasible-at-start program exits immediately instead of
+// pivoting around a degenerate optimum).
+//
+// Pricing starts with Dantzig's rule; under prolonged degeneracy it
+// falls back to a seeded random-edge rule (which escapes cycles with
+// probability one and is far faster than Bland in practice), and
+// finally to Bland's rule with a widened zero tolerance.
+func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
+	m := ws.m
+	total := ws.n + 2*m
+	maxIter := 200*(m+total) + 2000
+	if ws.improveEps == 0 {
+		// Perturbed rescue attempt: cap the effort so a pathological
+		// program fails in seconds rather than minutes.
+		maxIter = 40*(m+total) + 2000
+	}
+	stall := 0
+	mode := pricingDantzig
+	lastObj := ws.objValue()
+	stallLimit := 8*(m+total) + 500
+	for iter := 0; iter < maxIter; iter++ {
+		if ws.objValue() <= stopBelow {
+			return iter, statusOptimal
+		}
+		if stall > stallLimit {
+			// Hopeless degenerate plateau: bail out so the caller can
+			// retry with a perturbed right-hand side.
+			return iter, statusIterLimit
+		}
+		ws.computeY()
+		enter := ws.chooseEntering(mode)
+		if enter < 0 {
+			return iter, statusOptimal
+		}
+		ws.ftran(enter)
+		leave := ws.chooseLeaving(mode == pricingBland)
+		if leave < 0 {
+			return iter, statusUnbounded
+		}
+		ws.pivot(leave, enter)
+		if obj := ws.objValue(); obj < lastObj-ws.improveEps {
+			lastObj = obj
+			stall = 0
+			mode = pricingDantzig
+		} else {
+			stall++
+			switch {
+			case stall > 4*(m+50):
+				mode = pricingBland
+			case stall > m/4+20:
+				mode = pricingRandom
+			}
+		}
+	}
+	return maxIter, statusIterLimit
+}
+
+// dualSimplex restores primal feasibility of a dual-feasible basis
+// (negative basic values appear when rows were appended to a previously
+// optimal basis). Returns ok=false when it cannot finish on the warm
+// path — the caller falls back to a cold solve.
+func (ws *Workspace) dualSimplex() (int, bool) {
+	m := ws.m
+	total := ws.n + 2*m
+	maxIter := 50*(m+total) + 1000
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving: the most negative basic value.
+		r, worst := -1, -feasTol
+		for i := 0; i < m; i++ {
+			if ws.xb[i] < worst {
+				worst, r = ws.xb[i], i
+			}
+		}
+		if r < 0 {
+			return iter, true
+		}
+		ws.loadRho(r)
+		ws.computeY()
+		// Entering: dual ratio test min d_j / -alpha_j over alpha_j < 0,
+		// breaking near-ties towards the larger |pivot|.
+		best, bestRatio, bestAlpha := -1, math.Inf(1), 0.0
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			alpha := ws.rhoDot(j)
+			if alpha >= -Eps {
+				continue
+			}
+			d := ws.reducedCost(j)
+			if d < 0 {
+				d = 0 // dual feasibility noise
+			}
+			ratio := d / -alpha
+			if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-9 && -alpha > -bestAlpha) {
+				best, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if best < 0 {
+			// No pivot can lift the violated row: the appended rows are
+			// (numerically) contradictory. Let the cold path decide.
+			return iter, false
+		}
+		ws.ftran(best)
+		if ws.w[r] >= -Eps {
+			return iter, false // pivot vanished under FTRAN: numerics
+		}
+		ws.pivot(r, best)
+	}
+	return maxIter, false
+}
+
+// evictArtificials pivots basic artificial variables (value ~0 after a
+// successful phase 1) out of the basis where possible; rows whose
+// artificials cannot leave are redundant and keep them, harmlessly
+// basic at zero and banned from ever re-entering.
+func (ws *Workspace) evictArtificials() {
+	total := ws.n + 2*ws.m
+	for i := 0; i < ws.m; i++ {
+		if !ws.isArtificial(ws.basis[i]) {
+			continue
+		}
+		ws.loadRho(i)
+		pivotCol := -1
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			if math.Abs(ws.rhoDot(j)) > 1e-7 {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol < 0 {
+			continue // redundant constraint
+		}
+		ws.ftran(pivotCol)
+		ws.pivot(i, pivotCol)
+	}
+}
+
+// extract fills the primal values, objective and duals of an optimal
+// basis into sol.
+func (ws *Workspace) extract(mdl *Model, sol *Solution) {
+	for i, b := range ws.basis[:ws.m] {
+		if b < ws.n {
+			sol.X[b] = ws.xb[i]
+		}
+	}
+	objVal := 0.0
+	for j, c := range ws.obj[:ws.n] {
+		objVal += c * sol.X[j]
+	}
+	if mdl.maximize {
+		sol.Objective = -objVal
+	} else {
+		sol.Objective = objVal
+	}
+	ws.computeY()
+	for i := 0; i < ws.m; i++ {
+		d := ws.y[i]
+		if mdl.maximize {
+			d = -d
+		}
+		sol.Dual[i] = d
+	}
+	sol.Status = Optimal
+}
+
+// Basis encoding: structural columns are stored as their variable
+// index (stable under growth); unit columns as ^(2*row + minusBit),
+// which is independent of the variable count.
+
+func encodeBasisCol(code, n int) int {
+	if code < n {
+		return code
+	}
+	return ^(code - n)
+}
+
+func decodeBasisCol(enc, n int) int {
+	if enc >= 0 {
+		return enc
+	}
+	return n + ^enc
+}
+
+func (ws *Workspace) exportBasis() Basis {
+	cols := make([]int, ws.m)
+	for i, code := range ws.basis[:ws.m] {
+		cols[i] = encodeBasisCol(code, ws.n)
+	}
+	return Basis{cols: cols}
+}
+
+// noteBasis records the optimal basis the current binv corresponds to,
+// enabling the cheap warm-start extension on the next SolveFrom.
+func (ws *Workspace) noteBasis(mdl *Model) {
+	ws.lastModel = mdl
+	ws.lastRows = ws.m
+	ws.lastBasis = growI(ws.lastBasis, ws.m)
+	for i, code := range ws.basis[:ws.m] {
+		ws.lastBasis[i] = encodeBasisCol(code, ws.n)
+	}
+	ws.haveBinv = true
+}
+
+// solveCold runs the classic two-phase solve from the diagonal unit
+// basis.
+func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
+	ws.stats.Solves++
+	ws.stats.ColdSolves++
+	ws.haveBinv = false
+	ws.compile(mdl, perturb)
+	n, m := ws.n, ws.m
+	ws.ensureIterState()
+	ws.rng = newXorshift(uint64(m)*2654435761 + uint64(n+2*m) + 1)
+	ws.improveEps = Eps
+	if perturb > 0 {
+		// Perturbed pivots make strictly positive but sub-Eps progress;
+		// any strict decrease counts, otherwise the stall bailout would
+		// defeat the perturbation.
+		ws.improveEps = 0
+	}
+
+	for i := range ws.binv[:m*m] {
+		ws.binv[i] = 0
+	}
+	nart := 0
+	for i := 0; i < m; i++ {
+		code := n + 2*i
+		if ws.rhs[i] < 0 {
+			code++
+		}
+		ws.basis[i] = code
+		ws.basisPos[code] = i
+		ws.binv[i*m+i] = ws.unitSign(code)
+		ws.xb[i] = math.Abs(ws.rhs[i])
+		if ws.isArtificial(code) {
+			nart++
+		}
+	}
+
+	sol := &Solution{X: make([]float64, n), Dual: make([]float64, m)}
+
+	// Phase 1: minimise the sum of artificials. The artificial sum can
+	// never drop below zero: stop at the feasibility threshold (with its
+	// perturbation slack).
+	if nart > 0 {
+		ws.setPhase(1)
+		phase1Stop := feasTol / 2
+		if perturb > 0 {
+			phase1Stop = feasTol
+		}
+		iters, status := ws.primal(phase1Stop)
+		sol.Iterations += iters
+		ws.stats.Iterations += iters
+		if status == statusIterLimit {
+			return nil, fmt.Errorf("%w (phase 1, m=%d n=%d)", ErrIterationLimit, m, n)
+		}
+		if status == statusUnbounded {
+			return nil, errors.New("lp: internal: phase 1 reported unbounded")
+		}
+		slack := feasTol
+		if perturb > 0 {
+			for _, r := range ws.rhs[:m] {
+				slack += 2 * perturb * (2 + math.Abs(r))
+			}
+		}
+		if ws.objValue() > slack {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		ws.evictArtificials()
+	}
+
+	// Phase 2: minimise the true objective; artificials are banned.
+	ws.setPhase(2)
+	iters, status := ws.primal(math.Inf(-1))
+	sol.Iterations += iters
+	ws.stats.Iterations += iters
+	switch status {
+	case statusIterLimit:
+		return nil, fmt.Errorf("%w (phase 2, m=%d n=%d)", ErrIterationLimit, m, n)
+	case statusUnbounded:
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	ws.extract(mdl, sol)
+	ws.noteBasis(mdl)
+	sol.Basis = ws.exportBasis()
+	return sol, nil
+}
+
+// solveWarm attempts the warm-started solve. ok=false means the basis
+// could not be used and the caller should run the cold path; a non-nil
+// error is a genuine solver failure.
+func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool, err error) {
+	k := len(basis.cols)
+	mm := len(mdl.rows)
+	if k == 0 || k > mm {
+		return nil, false, nil
+	}
+	// Appended rows join the basis on their slack; equality rows have
+	// none, so their appearance forces a cold start.
+	for i := k; i < mm; i++ {
+		if mdl.rows[i].sense == EQ {
+			return nil, false, nil
+		}
+	}
+	// The basis inverse survives from the previous solve when the model
+	// object and the basis prefix are unchanged; otherwise it must be
+	// refactorised from scratch below.
+	reuse := ws.haveBinv && ws.lastModel == mdl && ws.lastRows == k &&
+		intsEqual(basis.cols, ws.lastBasis[:ws.lastRows])
+
+	ws.compile(mdl, 0)
+	n, m := ws.n, ws.m
+	ws.ensureIterState()
+
+	// Decode and validate the basis under the current column space.
+	for i := 0; i < k; i++ {
+		code := decodeBasisCol(basis.cols[i], n)
+		if enc := basis.cols[i]; enc >= 0 {
+			if enc >= n {
+				return nil, false, nil
+			}
+		} else if ws.unitRow(code) >= k {
+			return nil, false, nil
+		}
+		if ws.basisPos[code] >= 0 {
+			return nil, false, nil // duplicate basic column
+		}
+		ws.basis[i] = code
+		ws.basisPos[code] = i
+	}
+	for i := k; i < m; i++ {
+		code := n + 2*i // +e_i relaxes <=
+		if ws.sense[i] == GE {
+			code++ // -e_i relaxes >=
+		}
+		ws.basis[i] = code
+		ws.basisPos[code] = i
+	}
+
+	if reuse {
+		ws.extendBinv(k)
+	} else {
+		if m > refactorRowCap {
+			return nil, false, nil
+		}
+		if !ws.refactor() {
+			return nil, false, nil
+		}
+		ws.stats.Refactorizations++
+	}
+
+	// xb = B^-1 b, exploiting the (typically very) sparse rhs.
+	for i := 0; i < m; i++ {
+		ws.xb[i] = 0
+	}
+	for kk := 0; kk < m; kk++ {
+		b := ws.rhs[kk]
+		if b == 0 {
+			continue
+		}
+		col := ws.binv[kk*m : (kk+1)*m]
+		for i := 0; i < m; i++ {
+			ws.xb[i] += b * col[i]
+		}
+	}
+	primalInfeas := false
+	for i := 0; i < m; i++ {
+		if ws.xb[i] < 0 {
+			if ws.xb[i] > -Eps {
+				ws.xb[i] = 0
+			} else if ws.xb[i] < -feasTol {
+				primalInfeas = true
+			}
+		}
+	}
+
+	ws.stats.Solves++
+	ws.rng = newXorshift(uint64(m)*2654435761 + uint64(n+2*m) + 1)
+	ws.improveEps = Eps
+	ws.setPhase(2)
+
+	if primalInfeas {
+		// Dual-simplex cleanup needs dual feasibility; a violated
+		// reduced cost alongside primal infeasibility means the basis is
+		// stale in both senses.
+		ws.computeY()
+		total := n + 2*m
+		for j := 0; j < total; j++ {
+			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
+				continue
+			}
+			if ws.reducedCost(j) < -1e-6 {
+				return nil, false, nil
+			}
+		}
+	}
+
+	sol = &Solution{X: make([]float64, n), Dual: make([]float64, m), WarmStarted: true}
+	if primalInfeas {
+		iters, dualOK := ws.dualSimplex()
+		sol.Iterations += iters
+		sol.DualIterations += iters
+		ws.stats.DualIterations += iters
+		if !dualOK {
+			return nil, false, nil
+		}
+	}
+	iters, status := ws.primal(math.Inf(-1))
+	sol.Iterations += iters
+	ws.stats.Iterations += iters
+	if status != statusOptimal {
+		// Unbounded or stalled on the warm path: re-derive the verdict
+		// from a trustworthy cold start.
+		return nil, false, nil
+	}
+	ws.extract(mdl, sol)
+	ws.noteBasis(mdl)
+	sol.Basis = ws.exportBasis()
+	return sol, true, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extendBinv grows the k x k basis inverse of the previous solve to the
+// current m rows, given that rows k..m-1 entered the basis on their own
+// unit columns: with B' = [[B, 0], [C, D]] and D diagonal,
+// B'^-1 = [[B^-1, 0], [-D^-1 C B^-1, D^-1]].
+func (ws *Workspace) extendBinv(k int) {
+	m := ws.m
+	if k == m {
+		return // same shape; binv is already current
+	}
+	old := growF(ws.tmp, k*k)
+	copy(old, ws.binv[:k*k])
+	ws.tmp = old
+	for i := range ws.binv[:m*m] {
+		ws.binv[i] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		copy(ws.binv[kk*m:kk*m+k], old[kk*k:(kk+1)*k])
+	}
+	// Gather, per appended row, its coefficients on the old basic
+	// columns (only structural columns can touch foreign rows).
+	rowCoef := ws.w[:m] // scratch; ftran is not in flight here
+	for i := k; i < m; i++ {
+		s := ws.unitSign(ws.basis[i])
+		for pos := 0; pos < k; pos++ {
+			rowCoef[pos] = 0
+			code := ws.basis[pos]
+			if code >= ws.n {
+				continue
+			}
+			for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+				if int(ws.colRow[e]) == i {
+					rowCoef[pos] = ws.colVal[e]
+					break
+				}
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			acc := 0.0
+			col := old[kk*k : (kk+1)*k]
+			for pos := 0; pos < k; pos++ {
+				if c := rowCoef[pos]; c != 0 {
+					acc += c * col[pos]
+				}
+			}
+			if acc != 0 {
+				ws.binv[kk*m+i] = -s * acc
+			}
+		}
+		ws.binv[i*m+i] = s
+	}
+}
+
+// refactor rebuilds the basis inverse from the basis columns by
+// Gauss-Jordan elimination with partial pivoting. Returns false when
+// the basis matrix is singular.
+func (ws *Workspace) refactor() bool {
+	m := ws.m
+	a := growF(ws.tmp, 2*m*m)
+	ws.tmp = a
+	B := a[:m*m] // row-major working copy of the basis matrix
+	R := a[m*m:] // row-major inverse under construction
+	for i := range B {
+		B[i] = 0
+		R[i] = 0
+	}
+	for pos := 0; pos < m; pos++ {
+		code := ws.basis[pos]
+		if code >= ws.n {
+			B[ws.unitRow(code)*m+pos] = ws.unitSign(code)
+			continue
+		}
+		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+			B[int(ws.colRow[e])*m+pos] = ws.colVal[e]
+		}
+	}
+	for i := 0; i < m; i++ {
+		R[i*m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		p := -1
+		for r := c; r < m; r++ {
+			if p < 0 || math.Abs(B[r*m+c]) > math.Abs(B[p*m+c]) {
+				p = r
+			}
+		}
+		if p < 0 || math.Abs(B[p*m+c]) < 1e-10 {
+			return false
+		}
+		if p != c {
+			for j := 0; j < m; j++ {
+				B[p*m+j], B[c*m+j] = B[c*m+j], B[p*m+j]
+				R[p*m+j], R[c*m+j] = R[c*m+j], R[p*m+j]
+			}
+		}
+		pv := 1 / B[c*m+c]
+		for j := 0; j < m; j++ {
+			B[c*m+j] *= pv
+			R[c*m+j] *= pv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := B[r*m+c]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				B[r*m+j] -= f * B[c*m+j]
+				R[r*m+j] -= f * R[c*m+j]
+			}
+		}
+	}
+	// R is B^-1 in row-major [pos][row]; binv wants column-major
+	// binv[row*m + pos].
+	for pos := 0; pos < m; pos++ {
+		for rr := 0; rr < m; rr++ {
+			ws.binv[rr*m+pos] = R[pos*m+rr]
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platforms"
+	"repro/internal/tiers"
+	"repro/internal/tree"
+)
+
+// The simulator is the end-to-end check on the analytic machinery: the
+// optimal weighted tree packing of Theorem 4 claims a steady-state
+// throughput, and the discrete-event one-port execution must actually
+// sustain (close to) it. Greedy earliest-start list scheduling is not
+// the paper's asymptotically optimal periodic schedule, so a small
+// loss is tolerated; a large gap would mean the packing's rates or the
+// simulator's port accounting are wrong.
+
+// checkSustains runs count messages through the packing's trees and
+// compares the sustained throughput against the analytic rate.
+func checkSustains(t *testing.T, g *graph.Graph, source graph.NodeID, targets []graph.NodeID, pk *tree.Packing, count int) {
+	t.Helper()
+	rep, err := Run(g, source, targets, pk.Trees, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < 0.9*pk.Throughput {
+		t.Errorf("simulated throughput %v sustains only %.1f%% of the analytic packing rate %v",
+			rep.Throughput, 100*rep.Throughput/pk.Throughput, pk.Throughput)
+	}
+	if rep.Throughput > 1.05*pk.Throughput {
+		t.Errorf("simulated throughput %v exceeds the analytic optimum %v — port accounting is leaking capacity",
+			rep.Throughput, pk.Throughput)
+	}
+}
+
+func TestSimSustainsOptimalPackingFigure1(t *testing.T) {
+	pl := platforms.Figure1()
+	pk, err := tree.PackOptimal(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pk.Trees) == 0 {
+		t.Fatal("optimal packing has no trees")
+	}
+	checkSustains(t, pl.G, pl.Source, pl.Targets, pk, 200)
+}
+
+func TestSimSustainsOptimalPackingTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree-packing LP on a generated platform is slow")
+	}
+	pl, err := tiers.Generate(tiers.Small(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of LAN hosts keeps the exponential pricing oracle
+	// tractable while still exercising WAN/MAN relaying.
+	targets := pl.LAN[:3]
+	pk, err := tree.PackOptimal(pl.G, pl.Source, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Throughput <= 0 {
+		t.Fatalf("packing throughput = %v", pk.Throughput)
+	}
+	checkSustains(t, pl.G, pl.Source, targets, pk, 300)
+}

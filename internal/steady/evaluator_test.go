@@ -1,0 +1,204 @@
+package steady
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tiers"
+)
+
+// TestEvaluatorMatchesDirectCalls checks every Evaluator program
+// against its package-level counterpart on random platforms: caching,
+// workspace reuse and pooled warm starts must not change any value.
+func TestEvaluatorMatchesDirectCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		p, ok := randomProblem(rng)
+		if !ok {
+			continue
+		}
+		ev := NewEvaluator()
+		type pair struct {
+			name     string
+			got, ref func() (*Bound, error)
+		}
+		var extra []graph.NodeID
+		for _, v := range p.G.ActiveNodes() {
+			if v != p.Source {
+				extra = append(extra, v)
+				break
+			}
+		}
+		checks := []pair{
+			{"ScatterUB", func() (*Bound, error) { return ev.ScatterUB(p) }, func() (*Bound, error) { return ScatterUB(p) }},
+			{"MulticastLB", func() (*Bound, error) { return ev.MulticastLB(p) }, func() (*Bound, error) { return MulticastLB(p) }},
+			{"BroadcastEB", func() (*Bound, error) { return ev.BroadcastEB(p.G, p.Source) }, func() (*Bound, error) { return BroadcastEB(p.G, p.Source) }},
+			{"MultiSourceUB", func() (*Bound, error) { return ev.MultiSourceUB(p, extra) }, func() (*Bound, error) { return MultiSourceUB(p, extra) }},
+		}
+		for _, c := range checks {
+			got, err := c.got()
+			if err != nil {
+				t.Fatalf("trial %d: %s (evaluator): %v", trial, c.name, err)
+			}
+			ref, err := c.ref()
+			if err != nil {
+				t.Fatalf("trial %d: %s (direct): %v", trial, c.name, err)
+			}
+			if got.Infeasible() != ref.Infeasible() {
+				t.Fatalf("trial %d: %s: feasibility disagrees", trial, c.name)
+			}
+			if !got.Infeasible() && math.Abs(got.Period-ref.Period) > 1e-5*(1+ref.Period) {
+				t.Errorf("trial %d: %s: evaluator %v vs direct %v", trial, c.name, got.Period, ref.Period)
+			}
+		}
+	}
+}
+
+// TestEvaluatorCaches checks that identical evaluations are answered
+// from the cache and that returned bounds are safe to mutate.
+func TestEvaluatorCaches(t *testing.T) {
+	p := relay(t)
+	ev := NewEvaluator()
+	b1, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1.EdgeLoad {
+		b1.EdgeLoad[i] = -99 // must not poison the cache
+	}
+	b2, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.EdgeLoad[0] == -99 {
+		t.Fatal("cache returned an aliased EdgeLoad")
+	}
+	st := ev.Stats()
+	if st.Evaluations != 2 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 2 evaluations with 1 cache hit", st)
+	}
+	if !approx(b1.Period, b2.Period, 1e-12) {
+		t.Errorf("cached period %v != computed %v", b2.Period, b1.Period)
+	}
+}
+
+// TestEvaluatorTrialOpsRestoreMask checks the incremental heuristic
+// operations evaluate the modified platform but leave the activity
+// mask untouched.
+func TestEvaluatorTrialOpsRestoreMask(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	r := g.AddNode("r")
+	tgt := g.AddNode("t")
+	g.AddEdge(s, r, 1)
+	g.AddEdge(r, tgt, 1)
+	g.AddEdge(s, tgt, 5)
+	ev := NewEvaluator()
+
+	drop, err := ev.DropNodeBroadcast(g, s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Active(r) {
+		t.Fatal("DropNodeBroadcast left the node deactivated")
+	}
+	g.Deactivate(r)
+	want, err := BroadcastEB(g, s)
+	g.Activate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(drop.Period, want.Period, 1e-9) {
+		t.Errorf("drop trial period %v, want %v", drop.Period, want.Period)
+	}
+
+	g.Deactivate(r)
+	add, err := ev.AddNodeBroadcast(g, s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Active(r) {
+		t.Fatal("AddNodeBroadcast left the node activated")
+	}
+	g.Activate(r)
+	full, err := BroadcastEB(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(add.Period, full.Period, 1e-9) {
+		t.Errorf("add trial period %v, want %v", add.Period, full.Period)
+	}
+
+	p := mustNewProblem(t, g, s, []graph.NodeID{tgt})
+	promoted, err := ev.PromoteSource(p, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MultiSourceUB(p, []graph.NodeID{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(promoted.Period, ref.Period, 1e-6) {
+		t.Errorf("promote trial period %v, want %v", promoted.Period, ref.Period)
+	}
+}
+
+func mustNewProblem(t *testing.T, g *graph.Graph, s graph.NodeID, targets []graph.NodeID) Problem {
+	t.Helper()
+	p, err := NewProblem(g, s, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEvaluatorWarmAndPooledCuts drives the dense-target cutting-plane
+// regime on a generated platform: the loop must actually warm-start,
+// and a dropped-node re-evaluation must agree with a from-scratch
+// solve while reusing the pooled cuts.
+func TestEvaluatorWarmAndPooledCuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generated-platform LP solve is slow")
+	}
+	pl, err := tiers.Generate(tiers.Big(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator()
+	b, err := ev.BroadcastEB(pl.G, pl.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Infeasible() {
+		t.Fatal("generated platform disconnected")
+	}
+	if b.Rounds > 1 && b.WarmSolves == 0 {
+		t.Errorf("cutting plane ran %d rounds with no warm-started solve", b.Rounds)
+	}
+	drop := pl.LAN[0]
+	trial, err := ev.DropNodeBroadcast(pl.G, pl.Source, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := pl.G.Clone()
+	g2.Deactivate(drop)
+	want, err := BroadcastEB(g2, pl.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trial.Infeasible() != want.Infeasible() {
+		t.Fatal("dropped-node feasibility disagrees")
+	}
+	if !trial.Infeasible() && math.Abs(trial.Period-want.Period) > 1e-5*(1+want.Period) {
+		t.Errorf("dropped-node trial %v vs reference %v", trial.Period, want.Period)
+	}
+	st := ev.Stats()
+	if st.WarmSolves == 0 {
+		t.Errorf("no warm-started solves recorded: %+v", st)
+	}
+	if st.Cuts == 0 {
+		t.Errorf("no cuts pooled: %+v", st)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // cut-covering master of MulticastLB is known to wander (see
 // solveLBMaster); for dense target sets the cutting plane is far
 // smaller and converges quickly.
-func multicastLBDirect(p Problem) (*Bound, error) {
+func multicastLBDirect(p Problem, ws *lp.Workspace) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -83,7 +83,7 @@ func multicastLBDirect(p Problem) (*Bound, error) {
 			m.AddRow(lp.LE, 0, lp.Term{Var: xVar[id], Coef: 1}, lp.Term{Var: nVar[id], Coef: -1})
 		}
 	}
-	sol, err := m.Solve()
+	sol, err := m.SolveWith(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -98,5 +98,7 @@ func multicastLBDirect(p Problem) (*Bound, error) {
 	for id, v := range nVar {
 		loads[id] = math.Max(0, sol.X[v]) / rho
 	}
-	return &Bound{Period: scale / rho, EdgeLoad: loads, Rounds: 1}, nil
+	b := &Bound{Period: scale / rho, EdgeLoad: loads, Rounds: 1}
+	b.noteSolve(sol)
+	return b, nil
 }

@@ -28,14 +28,37 @@ import (
 // Implementation note: the paper's edge-flow formulation carries one
 // conservation row per (origin, node) pair with a zero right-hand
 // side; at platform scale that produces a degenerate plateau that
-// wrecks a tableau simplex. Since every commodity is an
-// origin-to-destination flow, the program is solved here in its
-// equivalent path form by column generation (flow decomposition
-// equivalence, DESIGN.md Section 4.3): the master LP has one convexity
-// row per destination plus the one-port rows, and the pricing problem
-// is a cheapest path under dual-adjusted edge costs, solved by one
-// Dijkstra per origin.
+// wrecks the simplex. Since every commodity is an origin-to-destination
+// flow, the program is solved here in its equivalent path form by
+// column generation (flow decomposition equivalence, DESIGN.md Section
+// 4.3): the master LP has one convexity row per destination plus the
+// one-port rows, and the pricing problem is a cheapest path under
+// dual-adjusted edge costs, solved by one Dijkstra per origin. The
+// master is built once and only grows: every pricing round appends its
+// improving paths as columns (lp.Model.AddColumn) and re-solves warm
+// from the previous basis.
 func MultiSourceUB(p Problem, extras []graph.NodeID) (*Bound, error) {
+	return multiSourceUB(p, extras, msOptions{})
+}
+
+// msOptions threads Evaluator state through the multisource solver:
+// a reusable workspace, pooled path columns from earlier related
+// solves, and an observer for newly priced-in paths.
+type msOptions struct {
+	ws     *lp.Workspace
+	seeds  []pooledPath
+	onPath func(origin, dest graph.NodeID, edges []int)
+}
+
+// pooledPath is a path column discovered by an earlier solve: an
+// origin-to-destination path, reusable as a seed column whenever its
+// origin is still allowed to feed its destination.
+type pooledPath struct {
+	origin, dest graph.NodeID
+	edges        []int
+}
+
+func multiSourceUB(p Problem, extras []graph.NodeID, opts msOptions) (*Bound, error) {
 	g := p.G
 	origins := append([]graph.NodeID{p.Source}, extras...)
 	seen := make(map[graph.NodeID]bool, len(origins))
@@ -69,40 +92,78 @@ func MultiSourceUB(p Problem, extras []graph.NodeID) (*Bound, error) {
 	}
 	// Every destination must ultimately be fed from the primary source.
 	destNodes := make([]graph.NodeID, len(dests))
+	destIndex := make(map[graph.NodeID]int, len(dests))
 	for i, d := range dests {
 		destNodes[i] = d.node
+		destIndex[d.node] = i
 	}
 	if !g.ReachesAll(p.Source, destNodes) {
 		return infeasibleBound(), nil
 	}
 
+	m := newMSMaster(g, dests)
+
 	var pool []msPath
 	poolKey := make(map[string]bool)
-	addPath := func(di int, edges []int) bool {
+	addPath := func(di int, edges []int, origin graph.NodeID) bool {
 		key := fmt.Sprint(di, edges)
 		if poolKey[key] {
 			return false
 		}
 		poolKey[key] = true
 		pool = append(pool, msPath{dest: di, edges: append([]int(nil), edges...)})
+		m.addColumn(di, pool[len(pool)-1].edges)
+		if opts.onPath != nil {
+			opts.onPath(origin, dests[di].node, edges)
+		}
 		return true
 	}
-	// Initial columns: a cheapest path from the primary source to each
-	// destination (origin 0 is allowed for every destination).
+	// Seed columns: pooled paths whose origin may still feed their
+	// destination under the current promotion order (and whose edges
+	// are all still active), then a cheapest path from the primary
+	// source to each destination (origin 0 is allowed for every
+	// destination).
+	for _, s := range opts.seeds {
+		di, ok := destIndex[s.dest]
+		if !ok {
+			continue
+		}
+		oi, ok := originIndex[s.origin]
+		if !ok || oi >= dests[di].maxOrigin {
+			continue
+		}
+		usable := true
+		for _, id := range s.edges {
+			if !g.EdgeActive(id) {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			addPath(di, s.edges, s.origin)
+		}
+	}
 	_, parent := g.ShortestPaths(p.Source, graph.CostWeight)
 	for di, d := range dests {
-		addPath(di, g.WalkBack(parent, d.node))
+		addPath(di, g.WalkBack(parent, d.node), p.Source)
 	}
 
+	ws := opts.ws
+	if ws == nil {
+		ws = lp.NewWorkspace()
+	}
+	bound := &Bound{}
+	var basis lp.Basis
 	const maxRounds = 400
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, errors.New("steady: MultiSourceUB column generation did not converge")
 		}
-		period, loads, mu, alpha, beta, err := solveMSMaster(g, dests, pool)
+		period, loads, mu, alpha, beta, err := m.solve(ws, &basis, bound, pool)
 		if err != nil {
 			return nil, err
 		}
+		bound.Rounds = round + 1
 		// Pricing: a path for destination d enters if its dual-adjusted
 		// cost sum c(e)*(beta(tail) + alpha(head)) undercuts the
 		// destination's convexity dual mu.
@@ -127,13 +188,15 @@ func MultiSourceUB(p Problem, extras []graph.NodeID) (*Bound, error) {
 				}
 			}
 			if bestJ >= 0 && bestCost < mu[di]-1e-9*(1+math.Abs(mu[di])) {
-				if addPath(di, g.WalkBack(par[bestJ], d.node)) {
+				if addPath(di, g.WalkBack(par[bestJ], d.node), origins[bestJ]) {
 					improved = true
 				}
 			}
 		}
 		if !improved {
-			return &Bound{Period: period, EdgeLoad: loads, Rounds: round + 1}, nil
+			bound.Period = period
+			bound.EdgeLoad = loads
+			return bound, nil
 		}
 	}
 }
@@ -148,61 +211,89 @@ type msPath struct {
 	edges []int
 }
 
-// solveMSMaster solves the restricted path master in
-// throughput-normalised form: maximise rho subject to one convexity
-// row per destination (its paths' rates sum to rho) and the one-port
-// occupation rows (<= 1). It returns the period 1/rho, the per-edge
-// per-multicast loads, the convexity duals mu (sign-adjusted so that a
-// path prices in when its dual-weighted cost undercuts mu), and the
-// non-negative port duals alpha (receive side) and beta (send side).
-func solveMSMaster(g *graph.Graph, dests []msDest, pool []msPath) (float64, []float64, []float64, []float64, []float64, error) {
+// msMaster is the restricted path master in throughput-normalised form:
+// maximise rho subject to one convexity row per destination (its
+// paths' rates sum to rho) and the one-port occupation rows (<= 1).
+// The model is incremental: rows are laid down once, and each priced-in
+// path joins as a column.
+type msMaster struct {
+	g        *graph.Graph
+	dests    []msDest
+	m        *lp.Model
+	rhoVar   int
+	coverRow []int
+	inRow    map[graph.NodeID]int
+	outRow   map[graph.NodeID]int
+	yVar     []int
+}
+
+func newMSMaster(g *graph.Graph, dests []msDest) *msMaster {
 	m := lp.NewModel()
 	m.Maximize()
-	rhoVar := m.AddVar(1, "rho")
-	yVar := make([]int, len(pool))
-	for i := range pool {
-		yVar[i] = m.AddVar(0, fmt.Sprintf("y%d", i))
-	}
-	coverRow := make([]int, len(dests))
-	coverTerms := make([][]lp.Term, len(dests))
-	inTerms := make(map[graph.NodeID][]lp.Term)
-	outTerms := make(map[graph.NodeID][]lp.Term)
-	for i, pth := range pool {
-		coverTerms[pth.dest] = append(coverTerms[pth.dest], lp.Term{Var: yVar[i], Coef: 1})
-		for _, id := range pth.edges {
-			e := g.Edge(id)
-			outTerms[e.From] = append(outTerms[e.From], lp.Term{Var: yVar[i], Coef: e.Cost})
-			inTerms[e.To] = append(inTerms[e.To], lp.Term{Var: yVar[i], Coef: e.Cost})
-		}
+	ms := &msMaster{
+		g:        g,
+		dests:    dests,
+		m:        m,
+		rhoVar:   m.AddVar(1, "rho"),
+		coverRow: make([]int, len(dests)),
+		inRow:    make(map[graph.NodeID]int),
+		outRow:   make(map[graph.NodeID]int),
 	}
 	for di := range dests {
-		terms := append(coverTerms[di], lp.Term{Var: rhoVar, Coef: -1})
-		coverRow[di] = m.AddRow(lp.EQ, 0, terms...)
+		ms.coverRow[di] = m.AddRow(lp.EQ, 0, lp.Term{Var: ms.rhoVar, Coef: -1})
 	}
-	inRow := make(map[graph.NodeID]int)
-	outRow := make(map[graph.NodeID]int)
+	// Port rows for every active node, even those no current column
+	// touches: future columns may, and rows cannot be appended to
+	// retroactively without invalidating warm starts.
 	for _, v := range g.ActiveNodes() {
-		if terms := inTerms[v]; len(terms) > 0 {
-			inRow[v] = m.AddRow(lp.LE, 1, terms...)
-		}
-		if terms := outTerms[v]; len(terms) > 0 {
-			outRow[v] = m.AddRow(lp.LE, 1, terms...)
-		}
+		ms.inRow[v] = m.AddRow(lp.LE, 1)
+		ms.outRow[v] = m.AddRow(lp.LE, 1)
 	}
-	sol, err := m.Solve()
+	return ms
+}
+
+// addColumn adds one path column: rate y >= 0 entering destination
+// di's convexity row with coefficient 1 and loading the one-port rows
+// of every edge on the path.
+func (ms *msMaster) addColumn(di int, edges []int) {
+	entries := make([]lp.RowCoef, 0, 2*len(edges)+1)
+	entries = append(entries, lp.RowCoef{Row: ms.coverRow[di], Coef: 1})
+	for _, id := range edges {
+		e := ms.g.Edge(id)
+		entries = append(entries, lp.RowCoef{Row: ms.outRow[e.From], Coef: e.Cost})
+		entries = append(entries, lp.RowCoef{Row: ms.inRow[e.To], Coef: e.Cost})
+	}
+	ms.yVar = append(ms.yVar, ms.m.AddColumn(0, "", entries...))
+}
+
+// solve re-solves the master (warm from *basis when available), updates
+// *basis, and returns the period 1/rho, the per-edge per-multicast
+// loads, the convexity duals mu (sign-adjusted so that a path prices in
+// when its dual-weighted cost undercuts mu), and the non-negative port
+// duals alpha (receive side) and beta (send side).
+func (ms *msMaster) solve(ws *lp.Workspace, basis *lp.Basis, bound *Bound, pool []msPath) (float64, []float64, []float64, []float64, []float64, error) {
+	var sol *lp.Solution
+	var err error
+	if basis.Empty() {
+		sol, err = ms.m.SolveWith(ws)
+	} else {
+		sol, err = ms.m.SolveFrom(ws, *basis)
+	}
 	if err != nil {
 		return 0, nil, nil, nil, nil, err
 	}
 	if sol.Status != lp.Optimal {
 		return 0, nil, nil, nil, nil, fmt.Errorf("steady: MultiSourceUB master: unexpected LP status %v", sol.Status)
 	}
-	rho := sol.X[rhoVar]
+	bound.noteSolve(sol)
+	*basis = sol.Basis
+	rho := sol.X[ms.rhoVar]
 	if rho <= cutTol {
 		return 0, nil, nil, nil, nil, errors.New("steady: MultiSourceUB: zero throughput on a reachable instance")
 	}
-	loads := make([]float64, g.NumEdges())
+	loads := make([]float64, ms.g.NumEdges())
 	for i, pth := range pool {
-		y := math.Max(0, sol.X[yVar[i]]) / rho
+		y := math.Max(0, sol.X[ms.yVar[i]]) / rho
 		for _, id := range pth.edges {
 			loads[id] += y
 		}
@@ -210,16 +301,16 @@ func solveMSMaster(g *graph.Graph, dests []msDest, pool []msPath) (float64, []fl
 	// For the max model, a path column for destination d prices in when
 	// sum c(e)*(alpha+beta) < -dual(cover_d); expose mu = -dual so the
 	// caller's test reads "path cost < mu".
-	mu := make([]float64, len(dests))
-	for di := range dests {
-		mu[di] = -sol.Dual[coverRow[di]]
+	mu := make([]float64, len(ms.dests))
+	for di := range ms.dests {
+		mu[di] = -sol.Dual[ms.coverRow[di]]
 	}
-	alpha := make([]float64, g.NumNodes())
-	beta := make([]float64, g.NumNodes())
-	for v, r := range inRow {
+	alpha := make([]float64, ms.g.NumNodes())
+	beta := make([]float64, ms.g.NumNodes())
+	for v, r := range ms.inRow {
 		alpha[v] = math.Max(0, sol.Dual[r])
 	}
-	for v, r := range outRow {
+	for v, r := range ms.outRow {
 		beta[v] = math.Max(0, sol.Dual[r])
 	}
 	return 1 / rho, loads, mu, alpha, beta, nil

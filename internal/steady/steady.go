@@ -79,10 +79,27 @@ type Bound struct {
 	// EdgeLoad is the per-edge message load n(e) per multicast (indexed
 	// by edge ID; nil when Period is infinite).
 	EdgeLoad []float64
-	// Rounds counts cutting-plane iterations (Multicast-LB only).
+	// Rounds counts cutting-plane or column-generation iterations
+	// (Multicast-LB and MulticastMultiSource-UB).
 	Rounds int
 	// Cuts counts generated cut constraints (Multicast-LB only).
 	Cuts int
+	// Solves counts the LP solves behind this bound.
+	Solves int
+	// Iterations counts the simplex pivots across those solves.
+	Iterations int
+	// WarmSolves counts the solves that reused the previous round's
+	// optimal basis instead of starting cold.
+	WarmSolves int
+}
+
+// noteSolve folds one LP solution's solver effort into the bound.
+func (b *Bound) noteSolve(sol *lp.Solution) {
+	b.Solves++
+	b.Iterations += sol.Iterations
+	if sol.WarmStarted {
+		b.WarmSolves++
+	}
 }
 
 // Throughput returns 1/Period (0 for an infeasible instance).
@@ -139,7 +156,12 @@ func addPortRows(m *lp.Model, g *graph.Graph, xVar map[int]int) {
 // counted separately on every link (a scatter). Its period is an upper
 // bound on the optimal multicast period, and the bound is achievable
 // (Section 5.1.2 of the paper).
-func ScatterUB(p Problem) (*Bound, error) {
+func ScatterUB(p Problem) (*Bound, error) { return scatterUB(p, nil) }
+
+// scatterUB is ScatterUB on a caller-supplied LP workspace (nil for a
+// private one); the Evaluator routes through it to reuse allocations
+// across a whole heuristic run.
+func scatterUB(p Problem, ws *lp.Workspace) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -182,7 +204,7 @@ func ScatterUB(p Problem) (*Bound, error) {
 		m.AddRow(lp.EQ, 0, terms...)
 	}
 	addPortRows(m, g, fVar)
-	sol, err := m.Solve()
+	sol, err := m.SolveWith(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +219,9 @@ func ScatterUB(p Problem) (*Bound, error) {
 	for id, v := range fVar {
 		load[id] = math.Max(0, sol.X[v]) / rho
 	}
-	return &Bound{Period: 1 / rho, EdgeLoad: load}, nil
+	b := &Bound{Period: 1 / rho, EdgeLoad: load}
+	b.noteSolve(sol)
+	return b, nil
 }
 
 // MulticastLB solves the paper's Multicast-LB program: the optimistic
@@ -213,6 +237,39 @@ func ScatterUB(p Problem) (*Bound, error) {
 // near-duplicate cuts when they are sparse. Both were cross-validated
 // to produce identical values.
 func MulticastLB(p Problem) (*Bound, error) {
+	return MulticastLBWith(p, LBOptions{WarmStart: true})
+}
+
+// LBOptions tunes the Multicast-LB solver (and BroadcastEBWith, which
+// is Multicast-LB over the full platform).
+type LBOptions struct {
+	// Workspace, when non-nil, supplies the reusable LP workspace; the
+	// zero value allocates a private one. A workspace must not be
+	// shared between goroutines.
+	Workspace *lp.Workspace
+	// WarmStart re-solves each cutting-plane round from the previous
+	// round's optimal basis — the appended cut rows are repaired by
+	// dual-simplex pivots — instead of re-solving the master from
+	// scratch. MulticastLB enables it; disabling it gives the cold
+	// baseline the benchmarks compare against.
+	WarmStart bool
+
+	// seeds are pre-validated source->target cuts used to prime the cut
+	// pool (Evaluator reuse across related platforms); onCut observes
+	// every cut the separation generates.
+	seeds []seedCut
+	onCut func(target graph.NodeID, cut []int)
+}
+
+type seedCut struct {
+	target graph.NodeID
+	edges  []int
+}
+
+// MulticastLBWith is MulticastLB with explicit solver options. Both
+// formulations honour the workspace; WarmStart only concerns the
+// cutting-plane regime (the direct form is a single solve).
+func MulticastLBWith(p Problem, opts LBOptions) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -222,14 +279,17 @@ func MulticastLB(p Problem) (*Bound, error) {
 	nodes := g.NumActive()
 	arcs := len(g.ActiveEdges())
 	if len(p.Targets)*(nodes+arcs)+2*nodes <= 4600 {
-		return multicastLBDirect(p)
+		return multicastLBDirect(p, opts.Workspace)
 	}
-	return multicastLBCuts(p)
+	return multicastLBCuts(p, opts)
 }
 
 // multicastLBCuts solves Multicast-LB by cut-covering with min-cut
-// separation (the dense-target regime of MulticastLB).
-func multicastLBCuts(p Problem) (*Bound, error) {
+// separation (the dense-target regime of MulticastLB). The master LP is
+// built once and then only grows: every separation round appends its
+// violated cut rows to the same model and, under opts.WarmStart,
+// re-solves from the previous round's basis.
+func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -242,86 +302,12 @@ func multicastLBCuts(p Problem) (*Bound, error) {
 	}
 
 	edges := g.ActiveEdges()
-	var cuts [][]int
-	seen := make(map[string]bool)
-	addCut := func(cut []int) bool {
-		if len(cut) == 0 {
-			return false
-		}
-		key := cutKey(cut)
-		if seen[key] {
-			return false
-		}
-		seen[key] = true
-		cuts = append(cuts, append([]int(nil), cut...))
-		return true
-	}
-	// Seed with the trivial cuts (the source's out-edges, each target's
-	// in-edges) and with the hop-distance layer cuts around every
-	// target: S_k = {v : hopdist(v -> t) > k} is a valid source-target
-	// separator for every k below the source's distance. Without the
-	// layer seeds the separation peels these one per round ("onion
-	// peeling"), the textbook slow mode of Kelley cutting planes.
-	addCut(g.OutEdges(p.Source, nil))
-	for _, t := range p.Targets {
-		addCut(g.InEdges(t, nil))
-		for _, cut := range layerCuts(g, p.Source, t) {
-			addCut(cut)
-		}
-	}
-
-	bound := &Bound{}
-	capacity := make([]float64, g.NumEdges())
-	const maxRounds = 500
-	for round := 0; ; round++ {
-		if round >= maxRounds {
-			return nil, errors.New("steady: MulticastLB cutting plane did not converge")
-		}
-		rho, loads, err := solveLBMaster(g, edges, cuts, scale)
-		if err != nil {
-			return nil, err
-		}
-		bound.Rounds = round + 1
-		if rho <= cutTol {
-			return nil, errors.New("steady: MulticastLB: zero throughput on a reachable instance")
-		}
-		copy(capacity, loads)
-		violated := false
-		for _, t := range p.Targets {
-			value, _, cut := flow.MinCut(g, capacity, p.Source, t)
-			if value < rho*(1-cutTol) {
-				if len(cut) == 0 {
-					// No crossing edge at all: the target is unreachable.
-					return infeasibleBound(), nil
-				}
-				if addCut(cut) {
-					violated = true
-				}
-			}
-		}
-		if !violated {
-			// Report the paper's per-multicast quantities; rho is per
-			// *scaled* time unit, so the true period is scale/rho.
-			for i := range capacity {
-				capacity[i] /= rho
-			}
-			bound.Period = scale / rho
-			bound.EdgeLoad = capacity
-			bound.Cuts = len(seen)
-			return bound, nil
-		}
-	}
-}
-
-// solveLBMaster solves the cut-covering master: maximise rho subject
-// to the scaled one-port rows and the current cut set.
-func solveLBMaster(g *graph.Graph, edges []int, cuts [][]int, scale float64) (float64, []float64, error) {
-	m := lp.NewModel()
-	m.Maximize()
-	rhoVar := m.AddVar(1, "rho")
+	master := lp.NewModel()
+	master.Maximize()
+	rhoVar := master.AddVar(1, "rho")
 	nVar := make(map[int]int, len(edges))
 	for _, id := range edges {
-		nVar[id] = m.AddVar(0, "")
+		nVar[id] = master.AddVar(0, "")
 	}
 	var buf []int
 	for _, v := range g.ActiveNodes() {
@@ -338,30 +324,111 @@ func solveLBMaster(g *graph.Graph, edges []int, cuts [][]int, scale float64) (fl
 			for _, id := range buf {
 				terms = append(terms, lp.Term{Var: nVar[id], Coef: g.Edge(id).Cost / scale})
 			}
-			m.AddRow(lp.LE, 1, terms...)
+			master.AddRow(lp.LE, 1, terms...)
 		}
 	}
-	for _, cut := range cuts {
+
+	seen := make(map[string]bool)
+	ncuts := 0
+	addCut := func(target graph.NodeID, cut []int) bool {
+		if len(cut) == 0 {
+			return false
+		}
+		key := cutKey(cut)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		ncuts++
 		terms := make([]lp.Term, 0, len(cut)+1)
 		for _, id := range cut {
 			terms = append(terms, lp.Term{Var: nVar[id], Coef: 1})
 		}
 		terms = append(terms, lp.Term{Var: rhoVar, Coef: -1})
-		m.AddRow(lp.GE, 0, terms...)
+		master.AddRow(lp.GE, 0, terms...)
+		if opts.onCut != nil {
+			opts.onCut(target, cut)
+		}
+		return true
 	}
-	sol, err := m.Solve()
-	if err != nil {
-		return 0, nil, err
+	// Prime with any pooled cuts from earlier, related solves, then the
+	// trivial cuts (the source's out-edges, each target's in-edges) and
+	// the hop-distance layer cuts around every target:
+	// S_k = {v : hopdist(v -> t) > k} is a valid source-target
+	// separator for every k below the source's distance. Without the
+	// layer seeds the separation peels these one per round ("onion
+	// peeling"), the textbook slow mode of Kelley cutting planes.
+	for _, s := range opts.seeds {
+		addCut(s.target, s.edges)
 	}
-	if sol.Status != lp.Optimal {
-		return 0, nil, fmt.Errorf("steady: MulticastLB: unexpected LP status %v", sol.Status)
+	addCut(p.Targets[0], g.OutEdges(p.Source, nil))
+	for _, t := range p.Targets {
+		addCut(t, g.InEdges(t, nil))
+		for _, cut := range layerCuts(g, p.Source, t) {
+			addCut(t, cut)
+		}
 	}
-	rho := sol.X[rhoVar]
-	loads := make([]float64, g.NumEdges())
-	for id, v := range nVar {
-		loads[id] = math.Max(0, sol.X[v])
+
+	ws := opts.Workspace
+	if ws == nil {
+		ws = lp.NewWorkspace()
 	}
-	return rho, loads, nil
+	bound := &Bound{}
+	var basis lp.Basis
+	capacity := make([]float64, g.NumEdges())
+	const maxRounds = 500
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, errors.New("steady: MulticastLB cutting plane did not converge")
+		}
+		var sol *lp.Solution
+		var err error
+		if opts.WarmStart && !basis.Empty() {
+			sol, err = master.SolveFrom(ws, basis)
+		} else {
+			sol, err = master.SolveWith(ws)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("steady: MulticastLB: unexpected LP status %v", sol.Status)
+		}
+		bound.noteSolve(sol)
+		basis = sol.Basis
+		bound.Rounds = round + 1
+		rho := sol.X[rhoVar]
+		if rho <= cutTol {
+			return nil, errors.New("steady: MulticastLB: zero throughput on a reachable instance")
+		}
+		for id, v := range nVar {
+			capacity[id] = math.Max(0, sol.X[v])
+		}
+		violated := false
+		for _, t := range p.Targets {
+			value, _, cut := flow.MinCut(g, capacity, p.Source, t)
+			if value < rho*(1-cutTol) {
+				if len(cut) == 0 {
+					// No crossing edge at all: the target is unreachable.
+					return infeasibleBound(), nil
+				}
+				if addCut(t, cut) {
+					violated = true
+				}
+			}
+		}
+		if !violated {
+			// Report the paper's per-multicast quantities; rho is per
+			// *scaled* time unit, so the true period is scale/rho.
+			for i := range capacity {
+				capacity[i] /= rho
+			}
+			bound.Period = scale / rho
+			bound.EdgeLoad = capacity
+			bound.Cuts = ncuts
+			return bound, nil
+		}
+	}
 }
 
 // layerCuts returns the hop-distance layer cuts between source and
@@ -426,6 +493,12 @@ func cutKey(cut []int) string {
 // exact. If some active node is unreachable the result is +Inf, the
 // convention used by the REDUCED BROADCAST heuristic.
 func BroadcastEB(g *graph.Graph, source graph.NodeID) (*Bound, error) {
+	return BroadcastEBWith(g, source, LBOptions{WarmStart: true})
+}
+
+// BroadcastEBWith is BroadcastEB with explicit solver options (see
+// LBOptions).
+func BroadcastEBWith(g *graph.Graph, source graph.NodeID, opts LBOptions) (*Bound, error) {
 	if !g.Active(source) {
 		return infeasibleBound(), nil
 	}
@@ -442,7 +515,7 @@ func BroadcastEB(g *graph.Graph, source graph.NodeID) (*Bound, error) {
 	if err != nil {
 		return nil, err
 	}
-	return MulticastLB(p)
+	return MulticastLBWith(p, opts)
 }
 
 // RecoverUnitFlows reconstructs the per-target variables x^i of the

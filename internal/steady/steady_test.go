@@ -453,12 +453,12 @@ func TestLBFormulationsAgree(t *testing.T) {
 		if !ok {
 			return true
 		}
-		direct, err := multicastLBDirect(p)
+		direct, err := multicastLBDirect(p, nil)
 		if err != nil {
 			t.Logf("seed %d: direct: %v", seed, err)
 			return false
 		}
-		cuts, err := multicastLBCuts(p)
+		cuts, err := multicastLBCuts(p, LBOptions{WarmStart: true})
 		if err != nil {
 			t.Logf("seed %d: cuts: %v", seed, err)
 			return false

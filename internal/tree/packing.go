@@ -66,16 +66,20 @@ func PackOptimal(g *graph.Graph, source graph.NodeID, targets []graph.NodeID) (*
 	if err != nil {
 		return nil, err
 	}
+	nodes := g.ActiveNodes()
+	master := newPackMaster(g, nodes)
 	pool := []*Tree{first}
 	inPool := map[string]bool{treeKey(first): true}
-	nodes := g.ActiveNodes()
+	master.addColumn(first)
 
+	ws := lp.NewWorkspace()
+	var basis lp.Basis
 	const maxRounds = 1000
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return nil, errors.New("tree: column generation did not converge")
 		}
-		obj, rates, alpha, beta, err := solveMaster(g, nodes, pool)
+		obj, rates, alpha, beta, err := master.solve(ws, &basis)
 		if err != nil {
 			return nil, err
 		}
@@ -105,51 +109,76 @@ func PackOptimal(g *graph.Graph, source graph.NodeID, targets []graph.NodeID) (*
 		}
 		pool = append(pool, cand)
 		inPool[treeKey(cand)] = true
+		master.addColumn(cand)
 	}
 }
 
-// solveMaster solves the restricted master LP over the current tree
-// pool: maximise sum y_k subject to per-node receive and send
-// occupations <= 1. It returns the objective, the tree rates, and the
-// duals alpha (receive rows) and beta (send rows) indexed by node.
-func solveMaster(g *graph.Graph, nodes []graph.NodeID, pool []*Tree) (float64, []float64, []float64, []float64, error) {
-	m := lp.NewModel()
-	m.Maximize()
-	yVar := make([]int, len(pool))
-	for i := range pool {
-		yVar[i] = m.AddVar(1, fmt.Sprintf("y%d", i))
+// packMaster is the restricted master LP over a growing tree pool:
+// maximise sum y_k subject to per-node receive and send occupations
+// <= 1. Rows are laid down once; every priced-in tree joins as a
+// column and each round re-solves warm from the previous basis.
+type packMaster struct {
+	g       *graph.Graph
+	nodes   []graph.NodeID
+	m       *lp.Model
+	recvRow map[graph.NodeID]int
+	sendRow map[graph.NodeID]int
+	yVar    []int
+}
+
+func newPackMaster(g *graph.Graph, nodes []graph.NodeID) *packMaster {
+	pm := &packMaster{
+		g:       g,
+		nodes:   nodes,
+		m:       lp.NewModel(),
+		recvRow: make(map[graph.NodeID]int, len(nodes)),
+		sendRow: make(map[graph.NodeID]int, len(nodes)),
 	}
-	recvRow := make(map[graph.NodeID]int, len(nodes))
-	sendRow := make(map[graph.NodeID]int, len(nodes))
-	recvTerms := make(map[graph.NodeID][]lp.Term)
-	sendTerms := make(map[graph.NodeID][]lp.Term)
-	for i, t := range pool {
-		for _, id := range t.Edges {
-			e := g.Edge(id)
-			sendTerms[e.From] = append(sendTerms[e.From], lp.Term{Var: yVar[i], Coef: e.Cost})
-			recvTerms[e.To] = append(recvTerms[e.To], lp.Term{Var: yVar[i], Coef: e.Cost})
-		}
-	}
+	pm.m.Maximize()
 	for _, v := range nodes {
-		recvRow[v] = m.AddRow(lp.LE, 1, recvTerms[v]...)
-		sendRow[v] = m.AddRow(lp.LE, 1, sendTerms[v]...)
+		pm.recvRow[v] = pm.m.AddRow(lp.LE, 1)
+		pm.sendRow[v] = pm.m.AddRow(lp.LE, 1)
 	}
-	sol, err := m.Solve()
+	return pm
+}
+
+func (pm *packMaster) addColumn(t *Tree) {
+	entries := make([]lp.RowCoef, 0, 2*len(t.Edges))
+	for _, id := range t.Edges {
+		e := pm.g.Edge(id)
+		entries = append(entries, lp.RowCoef{Row: pm.sendRow[e.From], Coef: e.Cost})
+		entries = append(entries, lp.RowCoef{Row: pm.recvRow[e.To], Coef: e.Cost})
+	}
+	pm.yVar = append(pm.yVar, pm.m.AddColumn(1, fmt.Sprintf("y%d", len(pm.yVar)), entries...))
+}
+
+// solve re-solves the master (warm from *basis when available) and
+// returns the objective, the tree rates, and the duals alpha (receive
+// rows) and beta (send rows) indexed by node.
+func (pm *packMaster) solve(ws *lp.Workspace, basis *lp.Basis) (float64, []float64, []float64, []float64, error) {
+	var sol *lp.Solution
+	var err error
+	if basis.Empty() {
+		sol, err = pm.m.SolveWith(ws)
+	} else {
+		sol, err = pm.m.SolveFrom(ws, *basis)
+	}
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
 	if sol.Status != lp.Optimal {
 		return 0, nil, nil, nil, fmt.Errorf("tree: master LP status %v", sol.Status)
 	}
-	rates := make([]float64, len(pool))
-	for i, v := range yVar {
+	*basis = sol.Basis
+	rates := make([]float64, len(pm.yVar))
+	for i, v := range pm.yVar {
 		rates[i] = math.Max(0, sol.X[v])
 	}
-	alpha := make([]float64, g.NumNodes())
-	beta := make([]float64, g.NumNodes())
-	for _, v := range nodes {
-		alpha[v] = math.Max(0, sol.Dual[recvRow[v]])
-		beta[v] = math.Max(0, sol.Dual[sendRow[v]])
+	alpha := make([]float64, pm.g.NumNodes())
+	beta := make([]float64, pm.g.NumNodes())
+	for _, v := range pm.nodes {
+		alpha[v] = math.Max(0, sol.Dual[pm.recvRow[v]])
+		beta[v] = math.Max(0, sol.Dual[pm.sendRow[v]])
 	}
 	return sol.Objective, rates, alpha, beta, nil
 }
