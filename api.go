@@ -3,11 +3,13 @@ package repro
 import (
 	"io"
 	"math/rand"
+	"net/http"
 
 	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/heur"
 	"repro/internal/platforms"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/steady"
 	"repro/internal/tiers"
@@ -142,6 +144,37 @@ func Figure4() ExamplePlatform { return platforms.Figure4() }
 
 // Figure5 returns the |Ptarget|-gap relay star.
 func Figure5() ExamplePlatform { return platforms.Figure5() }
+
+// Serving layer (cmd/mcastd): a long-running HTTP/JSON planning
+// daemon over a sharded evaluator pool, with a platform registry, an
+// LRU plan cache and singleflight request coalescing. Every response
+// is bit-identical to the serial library-call sequence for the same
+// request; see DESIGN.md Section 9.
+type (
+	// PlanServer is the planning daemon: an http.Handler wiring the
+	// platform registry, plan cache, coalescer and evaluator shards.
+	PlanServer = serve.Server
+	// ServeConfig parameterises a PlanServer (shard count, plan cache
+	// capacity, upload size limit).
+	ServeConfig = serve.Config
+	// PlanRequest is the body of POST /v1/plan.
+	PlanRequest = serve.PlanRequest
+	// PlanResponse is the body of a successful POST /v1/plan.
+	PlanResponse = serve.PlanResponse
+	// PlatformUpload is the body of POST /v1/platforms.
+	PlatformUpload = serve.UploadRequest
+)
+
+// NewPlanServer returns a ready planning daemon; mount it on any
+// http.Server (cmd/mcastd adds flags, logging and graceful shutdown).
+func NewPlanServer(cfg ServeConfig) *PlanServer { return serve.New(cfg) }
+
+// Serve runs a planning daemon on addr until the listener fails. For
+// graceful shutdown, build an http.Server around NewPlanServer
+// instead (see cmd/mcastd).
+func Serve(addr string, cfg ServeConfig) error {
+	return http.ListenAndServe(addr, serve.New(cfg))
+}
 
 // SweepConfig parameterises a Figure 11 density sweep. The grid runs
 // concurrently by default (Workers < 1 means runtime.GOMAXPROCS(0));

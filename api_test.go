@@ -1,7 +1,12 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro"
@@ -83,5 +88,83 @@ func TestFacadeTiersAndSweep(t *testing.T) {
 	}
 	if out := repro.SweepTable(cells, "lb"); len(out) == 0 {
 		t.Fatal("empty table")
+	}
+}
+
+// TestFacadeServe drives the exported serving surface: upload a
+// platform over HTTP, plan against it, and read the stats endpoint.
+func TestFacadeServe(t *testing.T) {
+	srv := repro.NewPlanServer(repro.ServeConfig{Shards: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	pl := repro.Figure1()
+	var text strings.Builder
+	if err := pl.G.Encode(&text); err != nil {
+		t.Fatal(err)
+	}
+	upload, _ := json.Marshal(repro.PlatformUpload{
+		ID: "fig1", Platform: text.String(), Source: pl.G.Name(pl.Source),
+	})
+	resp, err := http.Post(ts.URL+"/v1/platforms", "application/json", bytes.NewReader(upload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+
+	var targets []string
+	for _, id := range pl.Targets {
+		targets = append(targets, pl.G.Name(id))
+	}
+	plan, _ := json.Marshal(repro.PlanRequest{PlatformID: "fig1", Targets: targets})
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d", resp.StatusCode)
+	}
+	var pr repro.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Bounds) != 3 || len(pr.Plans) != 4 {
+		t.Fatalf("plan shape: %d bounds, %d plans", len(pr.Bounds), len(pr.Plans))
+	}
+	// The served lower bound must agree with the direct library call.
+	p, err := repro.NewProblem(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := repro.LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range pr.Bounds {
+		if b.Name == "lb" && math.Float64bits(b.Period) != math.Float64bits(lb.Period) {
+			t.Errorf("served lb %v != library %v", b.Period, lb.Period)
+		}
+	}
+
+	stats, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var st struct {
+		Shards int `json:"shards"`
+		Solver struct {
+			Solves int `json:"Solves"`
+		} `json:"solver"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.Solver.Solves == 0 {
+		t.Errorf("stats: %+v", st)
 	}
 }

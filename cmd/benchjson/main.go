@@ -7,11 +7,18 @@
 //
 //	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH_sweep.json
 //	benchjson -o BENCH_sweep.json bench.out
+//	benchjson -compare [-tolerance 0.25] [-min-ns 1000000] old.json new.json
 //
 // Every `BenchmarkName-P  N  <value> <unit> ...` line becomes one JSON
 // object; ns/op, B/op and allocs/op map to fixed fields, and every
 // other reported unit (the repo's benchmarks report reproduced paper
 // quantities and solver statistics) lands in the metrics map.
+//
+// The -compare mode is CI's bench-regression guard: it exits non-zero
+// when any benchmark present in both files has regressed its ns/op by
+// more than -tolerance (relative) against the committed baseline.
+// Benchmarks faster than -min-ns in the baseline are skipped — at
+// -benchtime=1x their timing is dominated by scheduler noise.
 package main
 
 import (
@@ -40,7 +47,32 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_sweep.json", "output JSON file (\"-\" for stdout)")
+	compare := flag.Bool("compare", false, "compare two JSON files (baseline, candidate) and fail on ns/op regressions")
+	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare")
+	minNs := flag.Float64("min-ns", 1e6, "with -compare, skip benchmarks whose baseline ns/op is below this (timing noise)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("-compare wants exactly two arguments: baseline.json candidate.json")
+		}
+		old, err := loadEntries(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := loadEntries(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, regressions := Compare(old, cur, *tolerance, *minNs)
+		for _, line := range report {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if regressions > 0 {
+			log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, *tolerance*100, flag.Arg(0))
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -71,6 +103,56 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
+}
+
+func loadEntries(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// Compare checks the candidate entries against the baseline and
+// returns a human-readable report plus the number of ns/op regressions
+// beyond tolerance. Baseline entries below minNs are skipped (their
+// single-iteration timings are noise), removed benchmarks are warned
+// about, and new benchmarks are ignored — only a measured slowdown of
+// a benchmark present in both files counts as a regression.
+func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []string, regressions int) {
+	cur := make(map[string]Entry, len(candidate))
+	for _, e := range candidate {
+		cur[e.Name] = e
+	}
+	skipped := 0
+	for _, old := range baseline {
+		now, ok := cur[old.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("warning: %s is in the baseline but was not run", old.Name))
+			continue
+		}
+		if old.NsPerOp < minNs {
+			skipped++
+			continue
+		}
+		ratio := now.NsPerOp / old.NsPerOp
+		switch {
+		case ratio > 1+tolerance:
+			regressions++
+			report = append(report, fmt.Sprintf("REGRESSION: %s: %.0f ns/op -> %.0f ns/op (%+.1f%% > %.0f%%)",
+				old.Name, old.NsPerOp, now.NsPerOp, (ratio-1)*100, tolerance*100))
+		case ratio < 1-tolerance:
+			report = append(report, fmt.Sprintf("improved: %s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
+				old.Name, old.NsPerOp, now.NsPerOp, (ratio-1)*100))
+		}
+	}
+	report = append(report, fmt.Sprintf("compared %d baseline benchmarks (%d below %.0fms skipped): %d regression(s)",
+		len(baseline), skipped, minNs/1e6, regressions))
+	return report, regressions
 }
 
 // Parse extracts benchmark entries from `go test -bench` output.

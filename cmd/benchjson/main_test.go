@@ -62,3 +62,55 @@ func TestParseKeepsHyphenatedNames(t *testing.T) {
 		t.Errorf("entries = %+v, want one entry named BenchmarkFoo-bar", entries)
 	}
 }
+
+func entry(name string, ns float64) Entry {
+	return Entry{Name: name, Iterations: 1, NsPerOp: ns}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := []Entry{
+		entry("BenchmarkA", 10e6),
+		entry("BenchmarkB", 10e6),
+		entry("BenchmarkC", 10e6),
+		entry("BenchmarkNoise", 1000), // below min-ns: never compared
+		entry("BenchmarkGone", 10e6),
+	}
+	candidate := []Entry{
+		entry("BenchmarkA", 12e6),    // +20%: within tolerance
+		entry("BenchmarkB", 13e6),    // +30%: regression
+		entry("BenchmarkC", 5e6),     // improvement
+		entry("BenchmarkNoise", 1e9), // huge but skipped
+		entry("BenchmarkNew", 10e6),  // not in baseline: ignored
+	}
+	report, regressions := Compare(baseline, candidate, 0.25, 1e6)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1\n%s", regressions, strings.Join(report, "\n"))
+	}
+	var sawB, sawGone, sawImproved bool
+	for _, line := range report {
+		if strings.Contains(line, "REGRESSION") && strings.Contains(line, "BenchmarkB") {
+			sawB = true
+		}
+		if strings.Contains(line, "BenchmarkGone") {
+			sawGone = true
+		}
+		if strings.Contains(line, "improved") && strings.Contains(line, "BenchmarkC") {
+			sawImproved = true
+		}
+		if strings.Contains(line, "BenchmarkNoise") {
+			t.Errorf("noise benchmark was compared: %s", line)
+		}
+	}
+	if !sawB || !sawGone || !sawImproved {
+		t.Errorf("report missing expected lines (B=%v gone=%v improved=%v):\n%s",
+			sawB, sawGone, sawImproved, strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	baseline := []Entry{entry("BenchmarkA", 10e6)}
+	candidate := []Entry{entry("BenchmarkA", 10.1e6)}
+	if report, regressions := Compare(baseline, candidate, 0.25, 1e6); regressions != 0 {
+		t.Errorf("clean run reported regressions:\n%s", strings.Join(report, "\n"))
+	}
+}

@@ -13,10 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/heur"
 	"repro/internal/steady"
@@ -144,7 +144,12 @@ func load(file, sourceName, targetNames, tiersSize string, seed int64, density f
 		if err != nil {
 			return nil, 0, nil, err
 		}
-		rng := rand.New(rand.NewSource(seed + 1))
+		// Target drawing shares the sweep engine's splitmix64 seeding path,
+		// so `mcast -tiers -seed N` reproduces the same target set on every
+		// go version (rand.NewSource(seed) alone is version-stable too, but
+		// the raw seed correlates neighbouring -seed runs; DeriveSeed
+		// scrambles them the same way neighbouring sweep tasks are).
+		rng := exp.NewRNG(seed, 0)
 		return pl.G, pl.Source, pl.RandomTargets(rng, density), nil
 	default:
 		return nil, 0, nil, fmt.Errorf("need -platform or -tiers (see -help)")

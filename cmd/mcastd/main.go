@@ -1,0 +1,74 @@
+// Command mcastd is the multicast-planning daemon: a long-running
+// HTTP/JSON service that answers Series-of-Multicasts plan requests
+// over a sharded pool of warm bound evaluators (see internal/serve and
+// DESIGN.md Section 9).
+//
+// Usage:
+//
+//	mcastd [-addr :8723] [-shards N] [-cache N]
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	POST /v1/platforms       upload a platform (graph text format)
+//	GET  /v1/platforms       list registered platforms
+//	GET  /v1/platforms/{id}  one platform's metadata
+//	POST /v1/plan            compute bounds and heuristic plans
+//	GET  /v1/stats           solver + serving statistics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to -drain seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("mcastd: ")
+	var (
+		addr   = flag.String("addr", ":8723", "listen address")
+		shards = flag.Int("shards", 0, "evaluator shards (0 = GOMAXPROCS)")
+		cache  = flag.Int("cache", 0, "plan cache capacity in responses (0 = default, negative disables)")
+		drain  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{Shards: *shards, CacheSize: *cache})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		// No blanket write timeout: big-platform plans legitimately run
+		// for tens of seconds; the shard pool bounds concurrent work.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on %s with %d evaluator shards", *addr, srv.Shards())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (draining up to %s)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

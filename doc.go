@@ -32,6 +32,11 @@
 //	                   order-independent aggregator) with deterministic
 //	                   per-task seeding, so a sweep's cells are
 //	                   bit-identical for any worker count
+//	internal/serve     the mcastd planning daemon: platform registry,
+//	                   LRU plan cache, singleflight coalescing and a
+//	                   sharded evaluator pool behind an HTTP/JSON API,
+//	                   with responses bit-identical to serial library
+//	                   calls
 //	internal/testutil  tiny shared test helpers (Near)
 //
 // The sweep engine is surfaced as RunSweep (aggregated cells),
@@ -44,8 +49,13 @@
 // workspace; AggregateSweepStats totals the solver statistics the
 // -solvestats flags of cmd/experiments and cmd/figures report.
 //
+// The serving layer is surfaced as NewPlanServer / Serve (cmd/mcastd
+// adds flags and graceful shutdown); ServeConfig.Shards sets the
+// evaluator pool size, zero meaning runtime.GOMAXPROCS(0).
+//
 // See README.md for a tour. The benchmarks in bench_test.go regenerate
 // every figure and table of the paper's evaluation; the Figure 11
 // benchmarks come in parallel and Serial variants to measure the
-// worker-pool speedup.
+// worker-pool speedup, and BenchmarkServePlan1Shard/...MaxShards
+// measure the serving layer's shard scaling.
 package repro

@@ -1,0 +1,107 @@
+// Planclient: talk to the mcastd planning daemon over HTTP — upload a
+// platform once, then request multicast plans against it by ID and
+// watch the cache and coalescer do their work.
+//
+// By default the example starts an in-process daemon on a loopback
+// listener so it is self-contained; point it at a running daemon with
+//
+//	go run ./examples/planclient -addr http://localhost:8723
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "", "base URL of a running mcastd (empty starts one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		ts := httptest.NewServer(repro.NewPlanServer(repro.ServeConfig{Shards: 2}))
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("started in-process daemon at %s\n\n", base)
+	}
+
+	// The quickstart platform: a fast relay in front of three clients.
+	platform := `
+node source
+edge source relay 1
+edge source client0 2.5
+edge relay client0 0.5
+edge relay client1 0.5
+edge relay client2 0.5
+`
+	up := post(base+"/v1/platforms", repro.PlatformUpload{
+		ID: "quickstart", Platform: platform, Source: "source",
+	})
+	fmt.Printf("uploaded platform: %s\n\n", up)
+
+	req := repro.PlanRequest{
+		PlatformID: "quickstart",
+		Targets:    []string{"client0", "client1", "client2"},
+	}
+	fmt.Println("plan (computed):")
+	fmt.Println(indent(post(base+"/v1/plan", req)))
+
+	// The identical request again: served from the plan cache,
+	// byte-identical body (check the X-Mcastd-Cache header).
+	fmt.Println("plan again (cache hit, same bytes):")
+	fmt.Println(indent(post(base+"/v1/plan", req)))
+
+	stats := get(base + "/v1/stats")
+	fmt.Println("stats:")
+	fmt.Println(indent(stats))
+}
+
+func post(url string, body any) string {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, out)
+	}
+	if how := resp.Header.Get("X-Mcastd-Cache"); how != "" {
+		fmt.Printf("  (served: %s)\n", how)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

@@ -102,14 +102,37 @@ type TaskResult struct {
 	Err   error
 }
 
+// DeriveSeed mixes a base seed and integer coordinates through
+// splitmix64 into one well-scrambled RNG seed. It is the shared seeding
+// path of the sweep engine (one coordinate pair per grid task) and the
+// CLIs (cmd/mcast derives its target-drawing stream the same way), so
+// every surface that draws random target sets is reproducible from the
+// same (seed, coordinates) tuple, independent of go version and worker
+// count.
+func DeriveSeed(seed int64, coords ...int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	muls := [...]uint64{0xbf58476d1ce4e5b9, 0x94d049bb133111eb}
+	for i, c := range coords {
+		z = splitmix(z + uint64(c)*muls[i%len(muls)])
+	}
+	return int64(z >> 1)
+}
+
+// NewRNG returns a rand.Rand seeded with DeriveSeed(seed, coords...).
+func NewRNG(seed int64, coords ...int) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, coords...)))
+}
+
+// Mix64 is the splitmix64 finalizer behind DeriveSeed, exported as the
+// repo's one well-scrambled 64-bit mixing function (the serving layer
+// routes plan requests over shards with it).
+func Mix64(z uint64) uint64 { return splitmix(z) }
+
 // taskSeed derives the deterministic per-task RNG seed from the sweep
 // seed and the task coordinates, mixing through splitmix64 so that
 // neighbouring tasks get uncorrelated streams.
 func taskSeed(seed int64, platform, densityIndex int) int64 {
-	z := uint64(seed) ^ 0x9e3779b97f4a7c15
-	z = splitmix(z + uint64(platform)*0xbf58476d1ce4e5b9)
-	z = splitmix(z + uint64(densityIndex)*0x94d049bb133111eb)
-	return int64(z >> 1)
+	return DeriveSeed(seed, platform, densityIndex)
 }
 
 func splitmix(z uint64) uint64 {

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is an LRU cache of complete plan responses. Values are
+// treated as immutable by every reader (handlers only marshal them),
+// so one *PlanResponse may be shared by the cache, the coalescer and
+// any number of in-flight writers.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[planKey]*list.Element
+	hits    int64
+	misses  int64
+	dropped int64 // entries invalidated by platform re-uploads
+}
+
+type cacheEntry struct {
+	key  planKey
+	resp *PlanResponse
+}
+
+// newPlanCache returns an LRU cache of the given capacity; capacity 0
+// disables caching (every lookup misses, every store is dropped).
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[planKey]*list.Element),
+	}
+}
+
+func (c *planCache) get(k planKey) (*PlanResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *planCache) put(k planKey, resp *PlanResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
+}
+
+// dropIf removes every entry whose key matches pred — the invalidation
+// sweep run when a platform ID is re-uploaded with new content. (Those
+// entries are already unreachable, since lookups resolve the ID to the
+// new fingerprint first; dropping them just returns the space.)
+func (c *planCache) dropIf(pred func(planKey) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var drop []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if pred(el.Value.(*cacheEntry).key) {
+			drop = append(drop, el)
+		}
+	}
+	for _, el := range drop {
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+	c.dropped += int64(len(drop))
+	return len(drop)
+}
+
+// CacheStats is the plan-cache section of GET /v1/stats.
+type CacheStats struct {
+	Size    int   `json:"size"`
+	Cap     int   `json:"cap"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Dropped int64 `json:"dropped"`
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.ll.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses, Dropped: c.dropped}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces identical in-flight plan computations: the
+// first request for a key becomes the leader and computes; followers
+// arriving before it finishes block and receive the leader's response.
+// (A minimal singleflight, keyed by planKey; responses are immutable
+// so sharing the pointer is safe.)
+type flightGroup struct {
+	mu        sync.Mutex
+	inflight  map[planKey]*flightCall
+	coalesced int64 // follower count, for /v1/stats
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *PlanResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[planKey]*flightCall)}
+}
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers. shared reports whether this caller was a
+// follower of another caller's computation.
+func (g *flightGroup) do(key planKey, fn func() (*PlanResponse, error)) (resp *PlanResponse, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.inflight[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.resp, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	// Deregister and wake followers even if fn panics (net/http would
+	// recover the panic per-connection; without the defer the stale
+	// flightCall would wedge this key forever).
+	defer func() {
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.resp, c.err = fn()
+	return c.resp, c.err, false
+}
+
+func (g *flightGroup) coalescedCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

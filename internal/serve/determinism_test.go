@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/steady"
+	"repro/internal/tiers"
+)
+
+// marshalBody reproduces writeJSON's encoding (two-space indent plus
+// trailing newline) so expected bodies compare byte-for-byte against
+// recorded HTTP responses.
+func marshalBody(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConcurrentPlansBitIdenticalToSerial is the server-path extension
+// of the PR 1 sweep determinism test: 16 goroutines hammer one
+// platform with a mix of plan requests through the full serving stack
+// (shard pool, plan cache, coalescer), and every single response body
+// must be byte-identical to the serial library-call reference — a
+// fresh evaluator running the same canonical sequence. Whatever a
+// request hits (cold shard, warm shard, cache, coalesced flight), the
+// answer may never change by even an ULP.
+func TestConcurrentPlansBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent determinism run is slow")
+	}
+	pl, err := tiers.Generate(tiers.Small(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if err := pl.G.Encode(&text); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Shards: 4})
+	w := httptest.NewRecorder()
+	body, _ := json.Marshal(UploadRequest{ID: "tiers-small", Platform: text.String(), Source: pl.G.Name(pl.Source)})
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/platforms", bytes.NewReader(body)))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("upload: %d %s", w.Code, w.Body.String())
+	}
+	entry, ok := s.reg.get("tiers-small")
+	if !ok {
+		t.Fatal("platform not registered")
+	}
+
+	// A mixed request pool over distinct target sets: bounds-only
+	// probes, single-heuristic requests and one full plan.
+	type reqSpec struct {
+		targets    []graph.NodeID
+		bounds     []string
+		heuristics []string
+	}
+	var specs []reqSpec
+	menu := []struct {
+		bounds     []string
+		heuristics []string
+	}{
+		{nil, []string{}},                  // all bounds, no heuristics
+		{[]string{"lb"}, []string{"MCPH"}}, // cheap probe
+		{[]string{"scatter", "lb"}, []string{"Red. BC"}},
+		{nil, nil}, // the full plan
+		{[]string{"broadcast"}, []string{"MCPH", "Multisource MC"}},
+	}
+	for i, m := range menu {
+		rng := exp.NewRNG(99, i)
+		specs = append(specs, reqSpec{
+			targets:    pl.RandomTargets(rng, 0.3),
+			bounds:     m.bounds,
+			heuristics: m.heuristics,
+		})
+	}
+
+	// Serial reference: the library-call sequence on a fresh evaluator
+	// per request, exactly what executePlan canonicalises.
+	expected := make([][]byte, len(specs))
+	requests := make([][]byte, len(specs))
+	for i, spec := range specs {
+		bounds, err := boundsMask(spec.bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heurs, err := heurMask(spec.heuristics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := executePlan(steady.NewEvaluator(), entry.g, entry.fp, entry.source(t), spec.targets, bounds, heurs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.PlatformID = "tiers-small"
+		expected[i] = marshalBody(t, ref)
+
+		names := make([]string, len(spec.targets))
+		for j, id := range spec.targets {
+			names[j] = entry.g.Name(id)
+		}
+		requests[i], err = json.Marshal(PlanRequest{
+			PlatformID: "tiers-small",
+			Targets:    names,
+			Bounds:     spec.bounds,
+			Heuristics: spec.heuristics,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 16
+	const perGoroutine = 10
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*perGoroutine)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for n := 0; n < perGoroutine; n++ {
+				i := (gi + n) % len(specs)
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(requests[i])))
+				if w.Code != http.StatusOK {
+					errs <- w.Body.String()
+					continue
+				}
+				if !bytes.Equal(w.Body.Bytes(), expected[i]) {
+					errs <- "request " + string(rune('0'+i)) + " diverged from the serial reference"
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Accounting sanity: 160 plan requests were served, and the heavy
+	// lifting collapsed to (roughly) one computation per distinct
+	// request via the cache and the coalescer.
+	st, served := s.pool.stats()
+	if st.Solves == 0 {
+		t.Error("no solver activity recorded")
+	}
+	var totalServed int64
+	for _, c := range served {
+		totalServed += c
+	}
+	if totalServed < int64(len(specs)) {
+		t.Errorf("shards served %d computations, want >= %d", totalServed, len(specs))
+	}
+	cs := s.cache.stats()
+	if cs.Hits+s.flight.coalescedCount()+totalServed != goroutines*perGoroutine {
+		t.Errorf("accounting mismatch: hits %d + coalesced %d + computed %d != %d",
+			cs.Hits, s.flight.coalescedCount(), totalServed, goroutines*perGoroutine)
+	}
+}
+
+// source resolves the entry's default source NodeID for tests.
+func (e *platformEntry) source(t *testing.T) graph.NodeID {
+	t.Helper()
+	id, ok := e.g.NodeByName(e.sourceName)
+	if !ok {
+		t.Fatalf("entry %q has no resolvable source %q", e.id, e.sourceName)
+	}
+	return id
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/steady"
+)
+
+// platformEntry is one registered platform. Entries are immutable once
+// published (a re-upload publishes a new entry under the same ID), so
+// every shard may read the graph concurrently without locking: nothing
+// in the plan path mutates a platform — the heuristics clone before
+// touching the activity mask.
+type platformEntry struct {
+	id         string
+	g          *graph.Graph
+	fp         uint64
+	sourceName string // default source for plan requests, may be ""
+	nodes      int
+	edges      int
+	gen        int // upload generation of this ID, starting at 1
+}
+
+func (e *platformEntry) fingerprint() string { return fmt.Sprintf("%016x", e.fp) }
+
+// registry is the platform store: upload once, reference by ID.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]*platformEntry
+}
+
+func newRegistry() *registry {
+	return &registry{m: make(map[string]*platformEntry)}
+}
+
+// put registers (or replaces) a platform. An empty id derives the
+// content-addressed default "pf-<fingerprint>". It returns the new
+// entry and the entry it replaced (nil for a first upload).
+func (r *registry) put(id string, g *graph.Graph, sourceName string) (*platformEntry, *platformEntry) {
+	fp := steady.Fingerprint(g)
+	if id == "" {
+		id = fmt.Sprintf("pf-%016x", fp)
+	}
+	e := &platformEntry{
+		id:         id,
+		g:          g,
+		fp:         fp,
+		sourceName: sourceName,
+		nodes:      g.NumActive(),
+		edges:      len(g.ActiveEdges()),
+		gen:        1,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.m[id]
+	if old != nil {
+		e.gen = old.gen + 1
+	}
+	r.m[id] = e
+	return e, old
+}
+
+func (r *registry) get(id string) (*platformEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[id]
+	return e, ok
+}
+
+// list returns the registered entries sorted by ID.
+func (r *registry) list() []*platformEntry {
+	r.mu.RLock()
+	out := make([]*platformEntry, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// validateID keeps platform IDs URL-path-safe.
+func validateID(id string) error {
+	if len(id) > 128 {
+		return fmt.Errorf("platform id longer than 128 bytes")
+	}
+	if strings.ContainsAny(id, "/?#%\x00 \t\n") {
+		return fmt.Errorf("platform id %q contains reserved characters", id)
+	}
+	return nil
+}

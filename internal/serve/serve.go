@@ -1,0 +1,82 @@
+// Package serve is the long-running planning daemon behind cmd/mcastd:
+// an HTTP/JSON service that answers Series-of-Multicasts plan requests
+// (platform, source, targets, requested bounds and heuristics) over a
+// sharded pool of steady.Evaluators.
+//
+// The serving layers, front to back (DESIGN.md Section 9):
+//
+//   - a platform registry: clients upload a platform once (the graph
+//     text format) and reference it by ID in every later plan request;
+//     re-uploading an ID swaps its content and invalidates the plan
+//     cache entries of the old content;
+//   - an LRU plan cache keyed by (platform fingerprint, source, target
+//     list, requested bounds and heuristics) holding complete
+//     responses;
+//   - a singleflight coalescer: identical in-flight plan requests are
+//     computed once, followers receive the leader's response;
+//   - a sharded evaluator pool: N shards, each owning one
+//     steady.Evaluator (documented as not safe for concurrent use),
+//     with requests routed by problem-key hash so identical requests
+//     always land on the same shard while one hot platform's distinct
+//     requests spread across all shards.
+//
+// Every plan response is bit-identical to the serial library-call
+// sequence for the same request (bounds in canonical order, then the
+// requested heuristics in registry order, on one fresh evaluator) —
+// concurrency, caching and coalescing are never allowed to change a
+// byte of the answer. That is why shards Reset their evaluator between
+// requests instead of carrying pooled cuts across them; see
+// DESIGN.md Section 9.3 for the measured ULP-level divergence that
+// forbids cross-request pooling.
+package serve
+
+import (
+	"runtime"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Shards is the number of evaluator shards; values < 1 mean
+	// runtime.GOMAXPROCS(0).
+	Shards int
+	// CacheSize is the plan cache capacity in responses. 0 means
+	// DefaultCacheSize; negative disables the plan cache (benchmarks
+	// disable it so every request exercises the evaluator pool).
+	CacheSize int
+	// MaxPlatformBytes caps an uploaded or inline platform description.
+	// 0 means DefaultMaxPlatformBytes.
+	MaxPlatformBytes int64
+}
+
+// DefaultCacheSize is the plan cache capacity when Config.CacheSize is
+// zero.
+const DefaultCacheSize = 1024
+
+// DefaultMaxPlatformBytes caps platform uploads when
+// Config.MaxPlatformBytes is zero (1 MiB of graph text is ~30k edges,
+// far beyond the LPs' practical range).
+const DefaultMaxPlatformBytes = 1 << 20
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Shards
+}
+
+func (c Config) cacheSize() int {
+	switch {
+	case c.CacheSize < 0:
+		return 0
+	case c.CacheSize == 0:
+		return DefaultCacheSize
+	}
+	return c.CacheSize
+}
+
+func (c Config) maxPlatformBytes() int64 {
+	if c.MaxPlatformBytes <= 0 {
+		return DefaultMaxPlatformBytes
+	}
+	return c.MaxPlatformBytes
+}

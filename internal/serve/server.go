@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/steady"
+)
+
+// Response headers carrying serving metadata. They live in headers —
+// not the body — so plan bodies stay byte-comparable across cache
+// hits, coalesced followers and fresh computations.
+const (
+	// HeaderCache reports how the plan was served: "hit" (plan cache),
+	// "coalesced" (follower of an identical in-flight request) or
+	// "miss" (computed by a shard for this request).
+	HeaderCache = "X-Mcastd-Cache"
+	// HeaderShard is the index of the shard that computed the plan
+	// (set only when this request executed, i.e. HeaderCache: miss).
+	HeaderShard = "X-Mcastd-Shard"
+)
+
+// UploadRequest is the body of POST /v1/platforms.
+type UploadRequest struct {
+	// ID names the platform; empty derives the content-addressed
+	// "pf-<fingerprint>". Re-uploading an ID replaces its content and
+	// invalidates the old content's cached plans.
+	ID string `json:"id,omitempty"`
+	// Platform is the platform description in the graph text format
+	// (node/edge/link lines).
+	Platform string `json:"platform"`
+	// Source optionally declares a default source node for plan
+	// requests that omit one.
+	Source string `json:"source,omitempty"`
+}
+
+// UploadResponse is the body of a successful POST /v1/platforms.
+type UploadResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Source      string `json:"source,omitempty"`
+	Generation  int    `json:"generation"`
+	Replaced    bool   `json:"replaced,omitempty"`
+	// Invalidated counts the cached plans of the replaced content that
+	// were dropped.
+	Invalidated int `json:"invalidated,omitempty"`
+}
+
+// PlatformInfo is one entry of GET /v1/platforms.
+type PlatformInfo struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Source      string `json:"source,omitempty"`
+	Generation  int    `json:"generation"`
+}
+
+// EndpointStats summarises one route's traffic for GET /v1/stats.
+type EndpointStats struct {
+	Count       int64   `json:"count"`
+	Errors      int64   `json:"errors"`
+	AvgMillis   float64 `json:"avg_ms"`
+	MaxMillis   float64 `json:"max_ms"`
+	TotalMillis float64 `json:"total_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats: cumulative solver
+// activity across all shards plus serving-layer counters.
+type StatsResponse struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Platforms     int                      `json:"platforms"`
+	Shards        int                      `json:"shards"`
+	ShardServed   []int64                  `json:"shard_served"`
+	Solver        steady.SolveStats        `json:"solver"`
+	PlanCache     CacheStats               `json:"plan_cache"`
+	Coalesced     int64                    `json:"coalesced"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// Server is the planning daemon: an http.Handler wiring the platform
+// registry, the plan cache, the coalescer and the evaluator shard
+// pool. Construct with New; the zero value is not usable.
+type Server struct {
+	cfg    Config
+	reg    *registry
+	pool   *shardPool
+	cache  *planCache
+	flight *flightGroup
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointAccum
+}
+
+type endpointAccum struct {
+	count, errors int64
+	totalMicros   int64
+	maxMicros     int64
+}
+
+// New returns a ready-to-serve planning daemon.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		reg:       newRegistry(),
+		pool:      newShardPool(cfg.shards()),
+		cache:     newPlanCache(cfg.cacheSize()),
+		flight:    newFlightGroup(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointAccum),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("POST /v1/platforms", s.handleUpload)
+	s.route("GET /v1/platforms", s.handleListPlatforms)
+	s.route("GET /v1/platforms/{id}", s.handleGetPlatform)
+	s.route("POST /v1/plan", s.handlePlan)
+	s.route("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Shards reports the number of evaluator shards.
+func (s *Server) Shards() int { return len(s.pool.shards) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers a handler wrapped with the per-endpoint latency and
+// error accounting surfaced by /v1/stats.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.observe(pattern, sw.status, time.Since(t0))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) observe(pattern string, status int, d time.Duration) {
+	micros := d.Microseconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.endpoints[pattern]
+	if a == nil {
+		a = &endpointAccum{}
+		s.endpoints[pattern] = a
+	}
+	a.count++
+	if status >= 400 {
+		a.errors++
+	}
+	a.totalMicros += micros
+	if micros > a.maxMicros {
+		a.maxMicros = micros
+	}
+}
+
+// --- helpers ----------------------------------------------------------
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	// Worst-case JSON escaping doubles the platform text (every newline
+	// becomes \n), so the wire limit is twice the decoded-text cap that
+	// decodePlatform enforces.
+	if err := decodeBody(w, r, 2*s.cfg.maxPlatformBytes()+4096, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateID(req.ID); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	g, err := decodePlatform(req.Platform, s.cfg.maxPlatformBytes())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Source != "" {
+		if _, ok := g.NodeByName(req.Source); !ok {
+			writeError(w, badRequest("unknown source node %q", req.Source))
+			return
+		}
+	}
+	entry, old := s.reg.put(req.ID, g, req.Source)
+	resp := UploadResponse{
+		ID:          entry.id,
+		Fingerprint: entry.fingerprint(),
+		Nodes:       entry.nodes,
+		Edges:       entry.edges,
+		Source:      entry.sourceName,
+		Generation:  entry.gen,
+	}
+	if old != nil {
+		resp.Replaced = true
+		if old.fp != entry.fp {
+			// The old content's cached plans are unreachable now that the
+			// ID resolves to a new fingerprint; drop them eagerly.
+			resp.Invalidated = s.cache.dropIf(func(k planKey) bool {
+				return k.id == entry.id && k.fp == old.fp
+			})
+		}
+	}
+	status := http.StatusCreated
+	if old != nil {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func decodePlatform(text string, limit int64) (*graph.Graph, error) {
+	if text == "" {
+		return nil, badRequest("empty platform description")
+	}
+	if int64(len(text)) > limit {
+		return nil, badRequest("platform description exceeds %d bytes", limit)
+	}
+	g, err := graph.Decode(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("bad platform: %v", err)
+	}
+	if g.NumActive() == 0 {
+		return nil, badRequest("platform has no nodes")
+	}
+	return g, nil
+}
+
+func (s *Server) platformInfo(e *platformEntry) PlatformInfo {
+	return PlatformInfo{
+		ID:          e.id,
+		Fingerprint: e.fingerprint(),
+		Nodes:       e.nodes,
+		Edges:       e.edges,
+		Source:      e.sourceName,
+		Generation:  e.gen,
+	}
+}
+
+func (s *Server) handleListPlatforms(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := make([]PlatformInfo, len(entries))
+	for i, e := range entries {
+		out[i] = s.platformInfo(e)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetPlatform(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &apiError{status: http.StatusNotFound, msg: "unknown platform id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.platformInfo(e))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	solver, served := s.pool.stats()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Platforms:     s.reg.len(),
+		Shards:        len(s.pool.shards),
+		ShardServed:   served,
+		Solver:        solver,
+		PlanCache:     s.cache.stats(),
+		Coalesced:     s.flight.coalescedCount(),
+		Endpoints:     make(map[string]EndpointStats),
+	}
+	s.mu.Lock()
+	for pattern, a := range s.endpoints {
+		es := EndpointStats{
+			Count:       a.count,
+			Errors:      a.errors,
+			TotalMillis: float64(a.totalMicros) / 1e3,
+			MaxMillis:   float64(a.maxMicros) / 1e3,
+		}
+		if a.count > 0 {
+			es.AvgMillis = es.TotalMillis / float64(a.count)
+		}
+		resp.Endpoints[pattern] = es
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	// Same escaping headroom as uploads: an inline platform's JSON
+	// encoding can be up to twice its decoded text.
+	if err := decodeBody(w, r, 2*s.cfg.maxPlatformBytes()+(1<<16), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, how, shardIdx, err := s.Plan(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set(HeaderCache, how)
+	if shardIdx >= 0 {
+		w.Header().Set(HeaderShard, fmt.Sprintf("%d", shardIdx))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Plan resolves and executes one plan request through the full serving
+// stack (registry, cache, coalescer, shard pool). It returns the
+// response, how it was served ("hit", "coalesced" or "miss") and the
+// executing shard index (-1 unless this call computed the plan).
+// It is the library entry point behind POST /v1/plan.
+func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
+	var (
+		g   *graph.Graph
+		fp  uint64
+		id  string
+		src string
+	)
+	switch {
+	case req.PlatformID != "" && req.Platform != "":
+		return nil, "", -1, badRequest("platform_id and platform are mutually exclusive")
+	case req.PlatformID != "":
+		e, ok := s.reg.get(req.PlatformID)
+		if !ok {
+			return nil, "", -1, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown platform id %q", req.PlatformID)}
+		}
+		// Registered platforms are immutable: reuse the fingerprint
+		// hashed at upload instead of re-walking the graph per request.
+		g, fp, id, src = e.g, e.fp, e.id, e.sourceName
+	case req.Platform != "":
+		var err error
+		g, err = decodePlatform(req.Platform, s.cfg.maxPlatformBytes())
+		if err != nil {
+			return nil, "", -1, err
+		}
+		fp = steady.Fingerprint(g)
+	default:
+		return nil, "", -1, badRequest("one of platform_id or platform is required")
+	}
+	if req.Source != "" {
+		src = req.Source
+	}
+	if src == "" {
+		return nil, "", -1, badRequest("source is required (the platform declares no default)")
+	}
+	source, ok := g.NodeByName(src)
+	if !ok {
+		return nil, "", -1, badRequest("unknown source node %q", src)
+	}
+	if len(req.Targets) == 0 {
+		return nil, "", -1, badRequest("at least one target is required")
+	}
+	targets := make([]graph.NodeID, len(req.Targets))
+	for i, name := range req.Targets {
+		t, ok := g.NodeByName(name)
+		if !ok {
+			return nil, "", -1, badRequest("unknown target node %q", name)
+		}
+		targets[i] = t
+	}
+	// Validate the instance up front so malformed requests (duplicate
+	// targets, source in the target set) fail with 400 here, and any
+	// later executePlan failure is a genuine 500.
+	if _, err := steady.NewProblem(g, source, targets); err != nil {
+		return nil, "", -1, badRequest("%v", err)
+	}
+	bounds, err := boundsMask(req.Bounds)
+	if err != nil {
+		return nil, "", -1, badRequest("%v", err)
+	}
+	heurs, err := heurMask(req.Heuristics)
+	if err != nil {
+		return nil, "", -1, badRequest("%v", err)
+	}
+
+	key := planKey{
+		id:      id,
+		fp:      fp,
+		source:  source,
+		targets: targetsKey(targets),
+		bounds:  bounds,
+		heurs:   heurs,
+	}
+	// execIdx records the shard this call computed on; it stays -1 for
+	// cache hits and coalesced followers (whose leader has its own
+	// Plan frame and execIdx).
+	execIdx := -1
+	compute := func() (*PlanResponse, error) {
+		var resp *PlanResponse
+		idx, err := s.pool.run(key, func(ev *steady.Evaluator) error {
+			var err error
+			resp, err = executePlan(ev, g, fp, source, targets, bounds, heurs)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		execIdx = idx
+		resp.PlatformID = id
+		s.cache.put(key, resp)
+		return resp, nil
+	}
+
+	if req.NoCache {
+		resp, err := compute()
+		if err != nil {
+			return nil, "", -1, err
+		}
+		return resp, "miss", execIdx, nil
+	}
+
+	if resp, ok := s.cache.get(key); ok {
+		return resp, "hit", -1, nil
+	}
+	resp, err, shared := s.flight.do(key, compute)
+	if err != nil {
+		return nil, "", -1, err
+	}
+	if shared {
+		return resp, "coalesced", -1, nil
+	}
+	return resp, "miss", execIdx, nil
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/steady"
+)
+
+// shard is one lane of the evaluator pool: a mutex-confined
+// steady.Evaluator (documented as not safe for concurrent use) plus a
+// request counter. The evaluator is Reset between requests — its
+// logical state (result cache, cut and path pools) never leaks from
+// one request into the next, which is what keeps every response
+// bit-identical to a cold library call — while its LP workspace keeps
+// its allocated scratch memory and its cumulative solver statistics
+// across the shard's lifetime.
+type shard struct {
+	mu     sync.Mutex
+	ev     *steady.Evaluator
+	served int64
+}
+
+// shardPool routes plan computations onto a fixed set of shards by
+// problem-key hash: identical requests always land on the same shard;
+// distinct requests — even against one platform — spread over the
+// whole pool.
+type shardPool struct {
+	shards []*shard
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{shards: make([]*shard, n)}
+	for i := range p.shards {
+		p.shards[i] = &shard{ev: steady.NewEvaluator()}
+	}
+	return p
+}
+
+// run executes fn on the shard selected by key, serialised with every
+// other request on that shard, with a freshly Reset evaluator. It
+// returns the shard index for the response metadata.
+func (p *shardPool) run(key planKey, fn func(ev *steady.Evaluator) error) (int, error) {
+	idx := int(key.routeHash() % uint64(len(p.shards)))
+	s := p.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ev.Reset()
+	s.served++
+	return idx, fn(s.ev)
+}
+
+// stats aggregates the cumulative solver statistics of every shard and
+// returns the per-shard served-request counts.
+func (p *shardPool) stats() (steady.SolveStats, []int64) {
+	var total steady.SolveStats
+	served := make([]int64, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		total.Add(s.ev.Stats())
+		served[i] = s.served
+		s.mu.Unlock()
+	}
+	return total, served
+}

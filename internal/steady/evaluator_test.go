@@ -202,3 +202,96 @@ func TestEvaluatorWarmAndPooledCuts(t *testing.T) {
 		t.Errorf("no cuts pooled: %+v", st)
 	}
 }
+
+// TestEvaluatorReset checks the serving-shard contract: after Reset the
+// evaluator answers bit-identically to a brand-new one (the logical
+// state is gone), while the cumulative statistics and the workspace
+// survive.
+func TestEvaluatorReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var problems []Problem
+	for len(problems) < 3 {
+		if p, ok := randomProblem(rng); ok {
+			problems = append(problems, p)
+		}
+	}
+	warm := NewEvaluator()
+	// Warm the evaluator on the first problems, then reset and replay
+	// the last one against a fresh evaluator.
+	for _, p := range problems[:2] {
+		if _, err := warm.MulticastLB(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := warm.ScatterUB(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	statsBefore := warm.Stats()
+	if statsBefore.Evaluations == 0 || statsBefore.Solves == 0 {
+		t.Fatalf("warmup did no work: %+v", statsBefore)
+	}
+	warm.Reset()
+	if got := warm.Stats(); got.Evaluations != statsBefore.Evaluations || got.Solves != statsBefore.Solves {
+		t.Errorf("Reset dropped cumulative stats: before %+v after %+v", statsBefore, got)
+	}
+
+	last := problems[2]
+	fresh := NewEvaluator()
+	got, err := warm.MulticastLB(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.MulticastLB(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Period) != math.Float64bits(want.Period) {
+		t.Errorf("post-Reset period %v is not bit-identical to fresh %v", got.Period, want.Period)
+	}
+	if len(got.EdgeLoad) != len(want.EdgeLoad) {
+		t.Fatalf("EdgeLoad lengths differ: %d vs %d", len(got.EdgeLoad), len(want.EdgeLoad))
+	}
+	for i := range got.EdgeLoad {
+		if math.Float64bits(got.EdgeLoad[i]) != math.Float64bits(want.EdgeLoad[i]) {
+			t.Fatalf("EdgeLoad[%d] differs after Reset: %v vs %v", i, got.EdgeLoad[i], want.EdgeLoad[i])
+		}
+	}
+	// Re-evaluating the same problem must now be a cache hit again.
+	before := warm.Stats()
+	if _, err := warm.MulticastLB(last); err != nil {
+		t.Fatal(err)
+	}
+	if d := warm.Stats().Delta(before); d.CacheHits != 1 {
+		t.Errorf("expected a cache hit after re-population, got %+v", d)
+	}
+}
+
+// TestFingerprint checks the exported platform fingerprint: stable
+// across clones, sensitive to costs and to the activity mask.
+func TestFingerprint(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(s, a, 1)
+	e := g.AddEdge(a, b, 2)
+	_ = e
+	fp := Fingerprint(g)
+	if fp != Fingerprint(g.Clone()) {
+		t.Error("clone changed the fingerprint")
+	}
+	g2 := g.Clone()
+	g2.Deactivate(b)
+	if Fingerprint(g2) == fp {
+		t.Error("deactivating a node did not change the fingerprint")
+	}
+	g3 := graph.New()
+	s3 := g3.AddNode("S")
+	a3 := g3.AddNode("a")
+	b3 := g3.AddNode("b")
+	g3.AddEdge(s3, a3, 1)
+	g3.AddEdge(a3, b3, 3)
+	if Fingerprint(g3) == fp {
+		t.Error("changing an edge cost did not change the fingerprint")
+	}
+}
