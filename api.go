@@ -14,6 +14,7 @@ import (
 	"repro/internal/steady"
 	"repro/internal/tiers"
 	"repro/internal/tree"
+	"repro/internal/whatif"
 )
 
 // Core model types.
@@ -175,6 +176,38 @@ func NewPlanServer(cfg ServeConfig) *PlanServer { return serve.New(cfg) }
 func Serve(addr string, cfg ServeConfig) error {
 	return http.ListenAndServe(addr, serve.New(cfg))
 }
+
+// What-if resilience engine (internal/whatif, POST /v1/whatif): given
+// an instance, evaluate node failures, per-edge link failures and
+// bandwidth degradations, and secondary-source promotions — each on an
+// evaluator clone warm-started from the baseline solve — and rank the
+// critical nodes and edges. Reports are bit-identical for any worker
+// count; see DESIGN.md Section 10.
+type (
+	// WhatifConfig selects the scenario family and worker count.
+	WhatifConfig = whatif.Config
+	// WhatifScenario is one platform perturbation.
+	WhatifScenario = whatif.Scenario
+	// WhatifResult is one scenario's outcome (throughput delta vs the
+	// baseline, surviving MCPH tree, infeasibility).
+	WhatifResult = whatif.Result
+	// WhatifReport is the full analysis: baseline, per-scenario results
+	// and the criticality rankings.
+	WhatifReport = whatif.Report
+	// WhatifRequest is the body of POST /v1/whatif on a PlanServer.
+	WhatifRequest = serve.WhatifRequest
+)
+
+// WhatIf runs the resilience engine on an instance. The zero config
+// evaluates nothing; start from WhatIfDefaults for the full family
+// (every node failure, every link failure, every source promotion).
+func WhatIf(p Problem, cfg WhatifConfig) (*WhatifReport, error) {
+	return whatif.Analyze(p, cfg)
+}
+
+// WhatIfDefaults is the scenario family cmd/mcast -whatif and the
+// serving layer run by default.
+func WhatIfDefaults() WhatifConfig { return whatif.DefaultConfig() }
 
 // SweepConfig parameterises a Figure 11 density sweep. The grid runs
 // concurrently by default (Workers < 1 means runtime.GOMAXPROCS(0));

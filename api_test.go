@@ -168,3 +168,38 @@ func TestFacadeServe(t *testing.T) {
 		t.Errorf("stats: %+v", st)
 	}
 }
+
+// TestFacadeWhatIf drives the resilience engine through the public
+// surface on the Figure 1 example: the default scenario family runs,
+// deltas are measured against the baseline, and the criticality
+// rankings are populated and sorted worst-first.
+func TestFacadeWhatIf(t *testing.T) {
+	pl := repro.Figure1()
+	p, err := repro.NewProblem(pl.G, pl.Source, pl.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.WhatIf(p, repro.WhatIfDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 || len(rep.Results) != len(rep.Scenarios) {
+		t.Fatalf("results/scenarios mismatch: %d vs %d", len(rep.Results), len(rep.Scenarios))
+	}
+	for i, r := range rep.Results {
+		if r.Err != nil {
+			t.Errorf("scenario %d: %v", i, r.Err)
+		}
+	}
+	if len(rep.CriticalNodes) == 0 || len(rep.CriticalEdges) == 0 {
+		t.Fatal("empty criticality rankings")
+	}
+	for i := 1; i < len(rep.CriticalNodes); i++ {
+		if rep.CriticalNodes[i-1].Delta > rep.CriticalNodes[i].Delta {
+			t.Fatal("critical nodes are not sorted worst-first")
+		}
+	}
+	if rep.BaselineStats.Solves == 0 {
+		t.Errorf("baseline recorded no solves: %+v", rep.BaselineStats)
+	}
+}

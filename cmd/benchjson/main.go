@@ -19,6 +19,11 @@
 // more than -tolerance (relative) against the committed baseline.
 // Benchmarks faster than -min-ns in the baseline are skipped — at
 // -benchtime=1x their timing is dominated by scheduler noise.
+// Benchmarks present in only one of the two files are reported to
+// stderr (added ones are informational; removed ones usually mean the
+// committed baseline drifted after a rename), and -strict turns
+// removals into failures so CI catches the drift instead of silently
+// shrinking its coverage.
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two JSON files (baseline, candidate) and fail on ns/op regressions")
 	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare")
 	minNs := flag.Float64("min-ns", 1e6, "with -compare, skip benchmarks whose baseline ns/op is below this (timing noise)")
+	strict := flag.Bool("strict", false, "with -compare, also fail when a baseline benchmark was not run (baseline drift)")
 	flag.Parse()
 
 	if *compare {
@@ -64,12 +70,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, regressions := Compare(old, cur, *tolerance, *minNs)
+		report, regressions, removed := Compare(old, cur, *tolerance, *minNs)
 		for _, line := range report {
 			fmt.Fprintln(os.Stderr, line)
 		}
 		if regressions > 0 {
 			log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, *tolerance*100, flag.Arg(0))
+		}
+		if *strict && removed > 0 {
+			log.Fatalf("%d baseline benchmark(s) were not run (-strict): update %s", removed, flag.Arg(0))
 		}
 		return
 	}
@@ -119,20 +128,27 @@ func loadEntries(path string) ([]Entry, error) {
 
 // Compare checks the candidate entries against the baseline and
 // returns a human-readable report plus the number of ns/op regressions
-// beyond tolerance. Baseline entries below minNs are skipped (their
-// single-iteration timings are noise), removed benchmarks are warned
-// about, and new benchmarks are ignored — only a measured slowdown of
-// a benchmark present in both files counts as a regression.
-func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []string, regressions int) {
+// beyond tolerance and the number of baseline benchmarks the candidate
+// did not run. Baseline entries below minNs are skipped (their
+// single-iteration timings are noise). Benchmarks present in only one
+// file are reported by name: removals usually mean the baseline
+// drifted after a rename (-strict makes main fail on them), additions
+// are new coverage the baseline does not track yet. Only a measured
+// slowdown of a benchmark present in both files counts as a
+// regression.
+func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []string, regressions, removed int) {
 	cur := make(map[string]Entry, len(candidate))
 	for _, e := range candidate {
 		cur[e.Name] = e
 	}
+	base := make(map[string]bool, len(baseline))
 	skipped := 0
 	for _, old := range baseline {
+		base[old.Name] = true
 		now, ok := cur[old.Name]
 		if !ok {
-			report = append(report, fmt.Sprintf("warning: %s is in the baseline but was not run", old.Name))
+			removed++
+			report = append(report, fmt.Sprintf("removed: %s is in the baseline but was not run", old.Name))
 			continue
 		}
 		if old.NsPerOp < minNs {
@@ -150,9 +166,16 @@ func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []st
 				old.Name, old.NsPerOp, now.NsPerOp, (ratio-1)*100))
 		}
 	}
-	report = append(report, fmt.Sprintf("compared %d baseline benchmarks (%d below %.0fms skipped): %d regression(s)",
-		len(baseline), skipped, minNs/1e6, regressions))
-	return report, regressions
+	added := 0
+	for _, e := range candidate {
+		if !base[e.Name] {
+			added++
+			report = append(report, fmt.Sprintf("added: %s was run but is not in the baseline", e.Name))
+		}
+	}
+	report = append(report, fmt.Sprintf("compared %d baseline benchmarks (%d below %.0fms skipped): %d regression(s), %d removed, %d added",
+		len(baseline), skipped, minNs/1e6, regressions, removed, added))
+	return report, regressions, removed
 }
 
 // Parse extracts benchmark entries from `go test -bench` output.

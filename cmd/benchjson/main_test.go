@@ -82,35 +82,55 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		entry("BenchmarkNoise", 1e9), // huge but skipped
 		entry("BenchmarkNew", 10e6),  // not in baseline: ignored
 	}
-	report, regressions := Compare(baseline, candidate, 0.25, 1e6)
+	report, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
 	if regressions != 1 {
 		t.Fatalf("got %d regressions, want 1\n%s", regressions, strings.Join(report, "\n"))
 	}
-	var sawB, sawGone, sawImproved bool
+	if removed != 1 {
+		t.Fatalf("got %d removed, want 1 (BenchmarkGone)\n%s", removed, strings.Join(report, "\n"))
+	}
+	var sawB, sawGone, sawNew, sawImproved bool
 	for _, line := range report {
 		if strings.Contains(line, "REGRESSION") && strings.Contains(line, "BenchmarkB") {
 			sawB = true
 		}
-		if strings.Contains(line, "BenchmarkGone") {
+		if strings.Contains(line, "removed") && strings.Contains(line, "BenchmarkGone") {
 			sawGone = true
+		}
+		if strings.Contains(line, "added") && strings.Contains(line, "BenchmarkNew") {
+			sawNew = true
 		}
 		if strings.Contains(line, "improved") && strings.Contains(line, "BenchmarkC") {
 			sawImproved = true
 		}
-		if strings.Contains(line, "BenchmarkNoise") {
+		if strings.Contains(line, "BenchmarkNoise") && !strings.Contains(line, "compared") {
 			t.Errorf("noise benchmark was compared: %s", line)
 		}
 	}
-	if !sawB || !sawGone || !sawImproved {
-		t.Errorf("report missing expected lines (B=%v gone=%v improved=%v):\n%s",
-			sawB, sawGone, sawImproved, strings.Join(report, "\n"))
+	if !sawB || !sawGone || !sawNew || !sawImproved {
+		t.Errorf("report missing expected lines (B=%v gone=%v new=%v improved=%v):\n%s",
+			sawB, sawGone, sawNew, sawImproved, strings.Join(report, "\n"))
 	}
 }
 
 func TestCompareCleanRun(t *testing.T) {
 	baseline := []Entry{entry("BenchmarkA", 10e6)}
 	candidate := []Entry{entry("BenchmarkA", 10.1e6)}
-	if report, regressions := Compare(baseline, candidate, 0.25, 1e6); regressions != 0 {
-		t.Errorf("clean run reported regressions:\n%s", strings.Join(report, "\n"))
+	report, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
+	if regressions != 0 || removed != 0 {
+		t.Errorf("clean run reported %d regressions, %d removed:\n%s",
+			regressions, removed, strings.Join(report, "\n"))
+	}
+}
+
+// TestCompareCountsRemovalsBelowMinNs: a removed benchmark counts as
+// baseline drift even when its baseline timing sits below the noise
+// floor — min-ns gates the timing comparison, not presence.
+func TestCompareCountsRemovalsBelowMinNs(t *testing.T) {
+	baseline := []Entry{entry("BenchmarkTiny", 1000), entry("BenchmarkBig", 10e6)}
+	candidate := []Entry{entry("BenchmarkBig", 10e6)}
+	_, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
+	if regressions != 0 || removed != 1 {
+		t.Errorf("got %d regressions, %d removed, want 0 and 1", regressions, removed)
 	}
 }

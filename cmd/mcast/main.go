@@ -7,13 +7,22 @@
 //
 //	mcast -platform file.graph -source S -targets a,b,c [-exact] [-dot out.dot]
 //	mcast -tiers small -seed 1 -density 0.4 [-exact]
+//	mcast -tiers small -seed 1 -whatif [-whatif-factors 0,4]
+//
+// -whatif runs the resilience engine after the bounds and heuristics:
+// every node failure, the per-edge scenarios of -whatif-factors (0 is
+// a link failure, f > 1 multiplies the edge cost), and every source
+// promotion, each warm-started from the baseline solve, then prints
+// the criticality ranking.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/exp"
@@ -22,6 +31,7 @@ import (
 	"repro/internal/steady"
 	"repro/internal/tiers"
 	"repro/internal/tree"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -36,6 +46,8 @@ func main() {
 		density      = flag.Float64("density", 0.4, "target density over LAN hosts (with -tiers)")
 		exact        = flag.Bool("exact", false, "also compute the exact optimum (exponential; small instances only)")
 		dotFile      = flag.String("dot", "", "write the platform as Graphviz DOT to this file")
+		doWhatif     = flag.Bool("whatif", false, "run the resilience engine (node/edge failures, source promotions)")
+		whatifFacts  = flag.String("whatif-factors", "0", "comma-separated per-edge scenario factors for -whatif (0 = link failure)")
 	)
 	flag.Parse()
 
@@ -100,6 +112,75 @@ func main() {
 		fmt.Printf("%-22s period %10.4f  throughput %.6f  (%d trees)\n",
 			"exact (tree packing)", pk.Period(), pk.Throughput, len(pk.Trees))
 	}
+
+	if *doWhatif {
+		if err := runWhatif(p, *whatifFacts); err != nil {
+			log.Fatalf("whatif: %v", err)
+		}
+	}
+}
+
+// runWhatif runs the resilience engine and prints the criticality
+// report.
+func runWhatif(p steady.Problem, factorList string) error {
+	cfg := whatif.DefaultConfig()
+	cfg.EdgeFactors = nil
+	for _, f := range strings.Split(factorList, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("bad -whatif-factors entry %q", f)
+		}
+		cfg.EdgeFactors = append(cfg.EdgeFactors, v)
+	}
+	rep, err := whatif.Analyze(p, cfg)
+	if err != nil {
+		return err
+	}
+	g := p.G
+	fmt.Printf("\nwhat-if: %d scenarios (baseline LB period %.4f, MCPH tree period %.4f)\n",
+		len(rep.Results), rep.Baseline.LB.Period, rep.Baseline.TreePeriod)
+	fmt.Printf("MCPH tree survives %d/%d scenarios\n", rep.Surviving, len(rep.Results))
+
+	const top = 5
+	fmt.Println("most critical nodes (throughput delta when failed):")
+	for i, rk := range rep.CriticalNodes {
+		if i == top {
+			break
+		}
+		fmt.Printf("  %-12s %+.6f%s\n", g.Name(rk.Node), rk.Delta, infTag(rk.Infeasible))
+	}
+	fmt.Println("most critical edges (worst throughput delta across factors):")
+	for i, rk := range rep.CriticalEdges {
+		if i == top {
+			break
+		}
+		e := g.Edge(rk.Edge)
+		fmt.Printf("  %s -> %-8s %+.6f%s\n", g.Name(e.From), g.Name(e.To), rk.Delta, infTag(rk.Infeasible))
+	}
+	best := -1
+	for i, r := range rep.Results {
+		if r.Kind == whatif.KindPromoteSource && r.Err == nil &&
+			(best < 0 || r.Delta > rep.Results[best].Delta) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		r := rep.Results[best]
+		fmt.Printf("best source promotion: %s (%+.6f throughput)\n", g.Name(r.Node), r.Delta)
+	}
+	fmt.Printf("solver: baseline %v; scenarios %v\n", rep.BaselineStats, rep.ScenarioStats)
+	return nil
+}
+
+func infTag(inf bool) string {
+	if inf {
+		return "  (multicast infeasible)"
+	}
+	return ""
 }
 
 func load(file, sourceName, targetNames, tiersSize string, seed int64, density float64) (*graph.Graph, graph.NodeID, []graph.NodeID, error) {

@@ -35,10 +35,16 @@ type Edge struct {
 
 // Graph is a directed platform graph with stable node IDs and an
 // activity mask. The zero value is an empty graph ready to use.
+//
+// Besides the node activity mask, individual edges can be disabled
+// (DisableEdge) and their costs rescaled (SetEdgeCost): the what-if
+// resilience engine uses both to model link failures and bandwidth
+// degradation without rebuilding the platform.
 type Graph struct {
 	names    []string
 	inactive []bool
 	edges    []Edge
+	edgeOff  []bool  // lazily allocated on the first DisableEdge
 	out      [][]int // node -> edge IDs leaving it
 	in       [][]int // node -> edge IDs entering it
 	byName   map[string]NodeID
@@ -138,10 +144,89 @@ func (g *Graph) Edge(id int) Edge {
 // Active reports whether node v is active.
 func (g *Graph) Active(v NodeID) bool { g.checkNode(v); return !g.inactive[v] }
 
-// EdgeActive reports whether both endpoints of edge id are active.
+// EdgeActive reports whether edge id is enabled and both its endpoints
+// are active.
 func (g *Graph) EdgeActive(id int) bool {
 	e := g.Edge(id)
-	return !g.inactive[e.From] && !g.inactive[e.To]
+	return !g.edgeDisabled(id) && !g.inactive[e.From] && !g.inactive[e.To]
+}
+
+func (g *Graph) edgeDisabled(id int) bool {
+	return g.edgeOff != nil && g.edgeOff[id]
+}
+
+// EdgeDisabled reports whether edge id has been disabled with
+// DisableEdge (independently of its endpoints' activity).
+func (g *Graph) EdgeDisabled(id int) bool {
+	g.Edge(id) // range check
+	return g.edgeDisabled(id)
+}
+
+// DisableEdge hides edge id from every query and algorithm while both
+// its endpoints stay active — a single link failure, where Deactivate
+// is a whole node failure.
+//
+// The edge is spliced out of its endpoints' adjacency lists (and
+// EnableEdge re-inserts it in edge-ID order), so the hot neighborhood
+// loops (OutEdges, InEdges, every path and flow algorithm above them)
+// pay nothing for the feature; the mask only backs EdgeActive,
+// ActiveEdges and the platform fingerprint.
+func (g *Graph) DisableEdge(id int) {
+	e := g.Edge(id)
+	if g.edgeOff == nil {
+		g.edgeOff = make([]bool, len(g.edges))
+	}
+	if g.edgeOff[id] {
+		return
+	}
+	g.edgeOff[id] = true
+	g.out[e.From] = removeID(g.out[e.From], id)
+	g.in[e.To] = removeID(g.in[e.To], id)
+}
+
+// EnableEdge re-enables an edge hidden by DisableEdge.
+func (g *Graph) EnableEdge(id int) {
+	e := g.Edge(id)
+	if g.edgeOff == nil || !g.edgeOff[id] {
+		return
+	}
+	g.edgeOff[id] = false
+	g.out[e.From] = insertID(g.out[e.From], id)
+	g.in[e.To] = insertID(g.in[e.To], id)
+}
+
+// removeID splices id out of an adjacency list, preserving order.
+func removeID(s []int, id int) []int {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// insertID re-inserts id into an adjacency list at its edge-ID-sorted
+// position (AddEdge appends ascending IDs, and remove/insert preserve
+// that order, so disabling and re-enabling edges in any sequence
+// restores the exact original neighborhood order — which the
+// deterministic algorithms above rely on).
+func insertID(s []int, id int) []int {
+	i := sort.SearchInts(s, id)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// SetEdgeCost rescales edge id to the given cost, which must be
+// positive and finite like in AddEdge. Trial perturbations are
+// expected to restore the original cost when done.
+func (g *Graph) SetEdgeCost(id int, cost float64) {
+	g.Edge(id) // range check
+	if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+		panic(fmt.Sprintf("graph: invalid edge cost %v", cost))
+	}
+	g.edges[id].Cost = cost
 }
 
 // Deactivate hides node v and all its incident edges.
@@ -255,6 +340,7 @@ func (g *Graph) Clone() *Graph {
 		names:    append([]string(nil), g.names...),
 		inactive: append([]bool(nil), g.inactive...),
 		edges:    append([]Edge(nil), g.edges...),
+		edgeOff:  append([]bool(nil), g.edgeOff...),
 		out:      make([][]int, len(g.out)),
 		in:       make([][]int, len(g.in)),
 		byName:   make(map[string]NodeID, len(g.byName)),

@@ -322,3 +322,106 @@ func TestShortestPathProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEdgeMask covers DisableEdge/EnableEdge: a disabled edge vanishes
+// from every query while its endpoints stay active, exactly like a
+// single link failure.
+func TestEdgeMask(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	ab := g.AddEdge(a, b, 1)
+	ab2 := g.AddEdge(a, b, 3) // parallel, slower
+	g.AddEdge(b, c, 1)
+
+	g.DisableEdge(ab)
+	if g.EdgeActive(ab) || !g.EdgeDisabled(ab) {
+		t.Error("disabled edge still active")
+	}
+	if !g.Active(a) || !g.Active(b) {
+		t.Error("disabling an edge deactivated a node")
+	}
+	if got := g.OutEdges(a, nil); len(got) != 1 || got[0] != ab2 {
+		t.Errorf("OutEdges(a) = %v, want [%d]", got, ab2)
+	}
+	if got := g.InEdges(b, nil); len(got) != 1 || got[0] != ab2 {
+		t.Errorf("InEdges(b) = %v, want [%d]", got, ab2)
+	}
+	if e, ok := g.FindEdge(a, b); !ok || e.ID != ab2 {
+		t.Errorf("FindEdge(a,b) = %+v ok=%v, want the parallel edge", e, ok)
+	}
+	if got := g.ActiveEdges(); len(got) != 2 {
+		t.Errorf("ActiveEdges = %v, want 2 edges", got)
+	}
+
+	// The mask survives Clone, independently of the original.
+	cl := g.Clone()
+	if cl.EdgeActive(ab) {
+		t.Error("clone lost the edge mask")
+	}
+	cl.EnableEdge(ab)
+	if !cl.EdgeActive(ab) || g.EdgeActive(ab) {
+		t.Error("clone edge mask is not independent")
+	}
+
+	g.EnableEdge(ab)
+	if !g.EdgeActive(ab) {
+		t.Error("EnableEdge did not restore the edge")
+	}
+	// EnableEdge on a never-disabled graph is a no-op.
+	g2 := New()
+	x := g2.AddNode("x")
+	y := g2.AddNode("y")
+	xy := g2.AddEdge(x, y, 1)
+	g2.EnableEdge(xy)
+	if !g2.EdgeActive(xy) {
+		t.Error("EnableEdge broke an untouched edge")
+	}
+}
+
+// TestEdgeMaskReachability: disabling a bridge disconnects exactly the
+// nodes behind it.
+func TestEdgeMaskReachability(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b, 1)
+	bc := g.AddEdge(b, c, 1)
+	if !g.ReachesAll(a, []NodeID{c}) {
+		t.Fatal("c unreachable before disable")
+	}
+	g.DisableEdge(bc)
+	if g.ReachesAll(a, []NodeID{c}) {
+		t.Error("c reachable across a disabled bridge")
+	}
+	if !g.ReachesAll(a, []NodeID{b}) {
+		t.Error("b lost with the wrong edge")
+	}
+}
+
+// TestSetEdgeCost checks cost rescaling and its validation.
+func TestSetEdgeCost(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	id := g.AddEdge(a, b, 2)
+	g.SetEdgeCost(id, 5)
+	if got := g.Edge(id).Cost; got != 5 {
+		t.Errorf("cost = %v, want 5", got)
+	}
+	if m := g.MaxCost(); m != 5 {
+		t.Errorf("MaxCost = %v, want 5", m)
+	}
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetEdgeCost(%v) did not panic", bad)
+				}
+			}()
+			g.SetEdgeCost(id, bad)
+		}()
+	}
+}

@@ -16,7 +16,8 @@ type planCache struct {
 	items   map[planKey]*list.Element
 	hits    int64
 	misses  int64
-	dropped int64 // entries invalidated by platform re-uploads
+	dropped int64 // entries invalidated by platform re-uploads (dropIf)
+	evicted int64 // entries displaced by capacity pressure (put)
 }
 
 type cacheEntry struct {
@@ -62,6 +63,7 @@ func (c *planCache) put(k planKey, resp *PlanResponse) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evicted++
 	}
 	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
 }
@@ -87,17 +89,21 @@ func (c *planCache) dropIf(pred func(planKey) bool) int {
 	return len(drop)
 }
 
-// CacheStats is the plan-cache section of GET /v1/stats.
+// CacheStats is the plan-cache section of GET /v1/stats. Dropped and
+// Evicted split the two ways an entry leaves the cache: invalidated
+// because its platform content was replaced, or displaced by capacity
+// pressure — the signal that the cache is undersized for the traffic.
 type CacheStats struct {
 	Size    int   `json:"size"`
 	Cap     int   `json:"cap"`
 	Hits    int64 `json:"hits"`
 	Misses  int64 `json:"misses"`
 	Dropped int64 `json:"dropped"`
+	Evicted int64 `json:"evicted"`
 }
 
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Size: c.ll.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses, Dropped: c.dropped}
+	return CacheStats{Size: c.ll.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses, Dropped: c.dropped, Evicted: c.evicted}
 }

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
 
 // flightGroup coalesces identical in-flight plan computations: the
 // first request for a key becomes the leader and computes; followers
@@ -26,29 +30,53 @@ func newFlightGroup() *flightGroup {
 // do returns fn's result for key, computing it at most once across
 // concurrent callers. shared reports whether this caller was a
 // follower of another caller's computation.
+//
+// A leader that fails with a context cancellation failed for a reason
+// private to its own request — its client hung up or its deadline
+// passed — not because the computation is broken. Followers must not
+// inherit that error: a follower waking to a canceled leader loops and
+// re-runs the computation (typically becoming the next leader), and
+// its coalesced count is rolled back so the serving accounting still
+// adds up. Deterministic errors (bad instance, LP failure) are shared
+// as before: re-running could only reproduce them.
 func (g *flightGroup) do(key planKey, fn func() (*PlanResponse, error)) (resp *PlanResponse, err error, shared bool) {
-	g.mu.Lock()
-	if c, ok := g.inflight[key]; ok {
-		g.coalesced++
-		g.mu.Unlock()
-		<-c.done
-		return c.resp, c.err, true
-	}
-	c := &flightCall{done: make(chan struct{})}
-	g.inflight[key] = c
-	g.mu.Unlock()
-
-	// Deregister and wake followers even if fn panics (net/http would
-	// recover the panic per-connection; without the defer the stale
-	// flightCall would wedge this key forever).
-	defer func() {
+	for {
 		g.mu.Lock()
-		delete(g.inflight, key)
+		if c, ok := g.inflight[key]; ok {
+			g.coalesced++
+			g.mu.Unlock()
+			<-c.done
+			if leaderCanceled(c.err) {
+				g.mu.Lock()
+				g.coalesced--
+				g.mu.Unlock()
+				continue
+			}
+			return c.resp, c.err, true
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.inflight[key] = c
 		g.mu.Unlock()
-		close(c.done)
-	}()
-	c.resp, c.err = fn()
-	return c.resp, c.err, false
+
+		// Deregister and wake followers even if fn panics (net/http would
+		// recover the panic per-connection; without the defer the stale
+		// flightCall would wedge this key forever).
+		defer func() {
+			g.mu.Lock()
+			delete(g.inflight, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.resp, c.err = fn()
+		return c.resp, c.err, false
+	}
+}
+
+// leaderCanceled reports whether a leader's error is a context
+// cancellation — an error about the leader's request, not about the
+// computation.
+func leaderCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (g *flightGroup) coalescedCount() int64 {

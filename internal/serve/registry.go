@@ -2,10 +2,12 @@ package serve
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/steady"
 )
@@ -37,13 +39,19 @@ func newRegistry() *registry {
 	return &registry{m: make(map[string]*platformEntry)}
 }
 
-// put registers (or replaces) a platform. An empty id derives the
-// content-addressed default "pf-<fingerprint>". It returns the new
-// entry and the entry it replaced (nil for a first upload).
+// put registers (or replaces) a platform. An empty id derives a
+// content-addressed default from the graph fingerprint AND the default
+// source: "pf-<fingerprint>" with no source, "pf-<mixed>" otherwise.
+// The source must be part of the derived identity — it changes what
+// plan requests against the ID compute — or re-uploading one graph
+// with a different default source would silently replace the prior
+// entry's source while the fingerprint-keyed invalidation sweep (which
+// only fires when fp changes) drops nothing. It returns the new entry
+// and the entry it replaced (nil for a first upload).
 func (r *registry) put(id string, g *graph.Graph, sourceName string) (*platformEntry, *platformEntry) {
 	fp := steady.Fingerprint(g)
 	if id == "" {
-		id = fmt.Sprintf("pf-%016x", fp)
+		id = deriveID(fp, sourceName)
 	}
 	e := &platformEntry{
 		id:         id,
@@ -62,6 +70,19 @@ func (r *registry) put(id string, g *graph.Graph, sourceName string) (*platformE
 	}
 	r.m[id] = e
 	return e, old
+}
+
+// deriveID builds the content-addressed platform ID. A declared
+// default source is folded into the hex digits by FNV-mixing its name
+// into the fingerprint, so the bare-graph ID keeps its historical
+// pf-<fingerprint> form.
+func deriveID(fp uint64, sourceName string) string {
+	if sourceName != "" {
+		h := fnv.New64a()
+		h.Write([]byte(sourceName))
+		fp = exp.Mix64(fp ^ h.Sum64())
+	}
+	return fmt.Sprintf("pf-%016x", fp)
 }
 
 func (r *registry) get(id string) (*platformEntry, bool) {

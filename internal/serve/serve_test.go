@@ -2,13 +2,16 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -456,5 +459,214 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 	got, err, shared := fg.do(key, func() (*PlanResponse, error) { return want, nil })
 	if err != nil || shared || got != want {
 		t.Errorf("post-panic call: got %v shared=%v err=%v", got, shared, err)
+	}
+}
+
+// TestFlightGroupCanceledLeaderRetries is the regression test for the
+// error-sharing bug: a leader whose own request is canceled must not
+// hand context.Canceled to its coalesced followers. Followers re-run
+// the computation (one becomes the next leader) and all of them get
+// the real response; the coalesced counter nets out to the followers
+// actually served from another caller's flight.
+func TestFlightGroupCanceledLeaderRetries(t *testing.T) {
+	fg := newFlightGroup()
+	key := planKey{fp: 3, targets: "1"}
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	want := &PlanResponse{Fingerprint: "real"}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, shared := fg.do(key, func() (*PlanResponse, error) {
+			close(leaderIn)
+			<-gate
+			return nil, context.Canceled // the leader's client hung up
+		})
+		if shared || !errors.Is(err, context.Canceled) {
+			t.Errorf("leader got shared=%v err=%v, want its own cancellation", shared, err)
+		}
+	}()
+	<-leaderIn
+
+	const followers = 4
+	results := make([]*PlanResponse, followers)
+	errs := make([]error, followers)
+	var reran atomic.Int64
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i], _ = fg.do(key, func() (*PlanResponse, error) {
+				reran.Add(1)
+				return want, nil
+			})
+		}(i)
+	}
+	// Wait for every follower to coalesce behind the doomed leader,
+	// then cancel it.
+	for {
+		fg.mu.Lock()
+		n := fg.coalesced
+		fg.mu.Unlock()
+		if n == followers {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Errorf("follower %d inherited error %v", i, errs[i])
+		}
+		if results[i] != want {
+			t.Errorf("follower %d got %+v, want the recomputed response", i, results[i])
+		}
+	}
+	if n := reran.Load(); n < 1 {
+		t.Error("no follower re-ran the computation")
+	}
+	// Accounting: every follower served from a retried flight was
+	// rolled back first, so hits+coalesced+computed still adds up:
+	// followers = coalesced (behind the new leader) + recomputations.
+	if got := fg.coalescedCount() + reran.Load(); got != followers {
+		t.Errorf("coalesced %d + reruns %d != %d followers", fg.coalescedCount(), reran.Load(), followers)
+	}
+	if len(fg.inflight) != 0 {
+		t.Errorf("%d stale in-flight entries", len(fg.inflight))
+	}
+}
+
+// TestPlanCacheEvictedSplit is the regression test for the invisible
+// capacity evictions: filling a cap-2 cache with four entries must
+// report 2 evictions (put) and 0 drops, while an invalidation sweep
+// reports drops and no evictions.
+func TestPlanCacheEvictedSplit(t *testing.T) {
+	c := newPlanCache(2)
+	k := func(i int) planKey { return planKey{fp: uint64(i)} }
+	r := func(i int) *PlanResponse { return &PlanResponse{Fingerprint: fmt.Sprint(i)} }
+	for i := 1; i <= 4; i++ {
+		c.put(k(i), r(i))
+	}
+	st := c.stats()
+	if st.Size != 2 || st.Evicted != 2 || st.Dropped != 0 {
+		t.Errorf("after capacity churn: %+v, want size 2, evicted 2, dropped 0", st)
+	}
+	if n := c.dropIf(func(key planKey) bool { return key.fp == 4 }); n != 1 {
+		t.Fatalf("dropIf removed %d, want 1", n)
+	}
+	st = c.stats()
+	if st.Evicted != 2 || st.Dropped != 1 {
+		t.Errorf("after invalidation: %+v, want evicted 2, dropped 1", st)
+	}
+	// Refreshing an existing key is not an eviction.
+	c.put(k(3), r(3))
+	if st = c.stats(); st.Evicted != 2 {
+		t.Errorf("refresh counted as eviction: %+v", st)
+	}
+}
+
+// TestPlanCacheConcurrentDropIf hammers dropIf concurrently with put
+// and get under -race: the invalidation sweep must be safe against
+// simultaneous inserts, lookups and capacity evictions, and the cache
+// must stay internally consistent.
+func TestPlanCacheConcurrentDropIf(t *testing.T) {
+	c := newPlanCache(32)
+	k := func(i int) planKey { return planKey{fp: uint64(i % 64), targets: fmt.Sprint(i % 7)} }
+	resp := &PlanResponse{Fingerprint: "x"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.put(k(i*4+w), resp)
+				c.get(k(i * 3))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		c.dropIf(func(key planKey) bool { return key.fp%3 == uint64(i%3) })
+	}
+	close(stop)
+	wg.Wait()
+	st := c.stats()
+	if st.Size > 32 {
+		t.Errorf("cache overflowed its capacity: %+v", st)
+	}
+	c.mu.Lock()
+	if c.ll.Len() != len(c.items) {
+		t.Errorf("list/map divergence: %d vs %d", c.ll.Len(), len(c.items))
+	}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if c.items[el.Value.(*cacheEntry).key] != el {
+			t.Error("map entry does not point at its list element")
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// TestContentAddressedUploadFoldsSource is the regression test for the
+// silent-source-swap bug: re-uploading the same graph with a different
+// default source must land on a distinct content-addressed entry, not
+// replace the prior entry's source while the fingerprint-keyed
+// invalidation sweep drops nothing.
+func TestContentAddressedUploadFoldsSource(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+
+	// Same graph, two different default sources: two distinct entries.
+	w1 := doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{Platform: diamondText, Source: "S"})
+	if w1.Code != http.StatusCreated {
+		t.Fatalf("upload 1: %d %s", w1.Code, w1.Body.String())
+	}
+	up1 := decodeJSON[UploadResponse](t, w1)
+	w2 := doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{Platform: diamondText, Source: "r1"})
+	if w2.Code != http.StatusCreated {
+		t.Fatalf("upload with a new source replaced an entry: %d %s", w2.Code, w2.Body.String())
+	}
+	up2 := decodeJSON[UploadResponse](t, w2)
+	if up1.ID == up2.ID {
+		t.Fatalf("distinct default sources derived the same id %q", up1.ID)
+	}
+	if up1.Fingerprint != up2.Fingerprint {
+		t.Error("graph fingerprint should not depend on the default source")
+	}
+	for _, up := range []UploadResponse{up1, up2} {
+		if up.Replaced || up.Generation != 1 {
+			t.Errorf("upload unexpectedly replaced something: %+v", up)
+		}
+	}
+	// Both entries resolve, each with its own default source.
+	e1, ok1 := s.reg.get(up1.ID)
+	e2, ok2 := s.reg.get(up2.ID)
+	if !ok1 || !ok2 || e1.sourceName != "S" || e2.sourceName != "r1" {
+		t.Fatalf("entries did not keep their sources: %v/%v %v/%v", ok1, e1, ok2, e2)
+	}
+
+	// Same graph and same source: a genuine replace with a generation
+	// bump (the historical path).
+	w3 := doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{Platform: diamondText, Source: "S"})
+	if w3.Code != http.StatusOK {
+		t.Fatalf("same-identity re-upload: %d", w3.Code)
+	}
+	up3 := decodeJSON[UploadResponse](t, w3)
+	if up3.ID != up1.ID || !up3.Replaced || up3.Generation != 2 {
+		t.Errorf("same-identity re-upload: %+v", up3)
+	}
+	// And no source at all keeps the historical pf-<fingerprint> form.
+	w4 := doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{Platform: diamondText})
+	up4 := decodeJSON[UploadResponse](t, w4)
+	if up4.ID != "pf-"+up4.Fingerprint {
+		t.Errorf("bare-graph id %q, want pf-%s", up4.ID, up4.Fingerprint)
 	}
 }

@@ -83,6 +83,7 @@ type StatsResponse struct {
 	Solver        steady.SolveStats        `json:"solver"`
 	PlanCache     CacheStats               `json:"plan_cache"`
 	Coalesced     int64                    `json:"coalesced"`
+	Whatif        WhatifStats              `json:"whatif"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -100,6 +101,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointAccum
+	whatif    WhatifStats
 }
 
 type endpointAccum struct {
@@ -125,6 +127,7 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/platforms", s.handleListPlatforms)
 	s.route("GET /v1/platforms/{id}", s.handleGetPlatform)
 	s.route("POST /v1/plan", s.handlePlan)
+	s.route("POST /v1/whatif", s.handleWhatif)
 	s.route("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -332,6 +335,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:     make(map[string]EndpointStats),
 	}
 	s.mu.Lock()
+	resp.Whatif = s.whatif
 	for pattern, a := range s.endpoints {
 		es := EndpointStats{
 			Count:       a.count,
@@ -368,66 +372,89 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// resolved is a plan or what-if request resolved against the registry:
+// the platform graph, its fingerprint, the registered ID ("" for
+// inline platforms), source/target node IDs, and the validated steady
+// Problem built from them.
+type resolved struct {
+	g       *graph.Graph
+	fp      uint64
+	id      string
+	source  graph.NodeID
+	targets []graph.NodeID
+	p       steady.Problem
+}
+
+// resolve turns wire-level platform/source/target references into a
+// validated instance. Malformed requests fail here with a 4xx
+// apiError, so later execution failures are genuine 500s.
+func (s *Server) resolve(platformID, platform, sourceName string, targetNames []string) (*resolved, error) {
+	r := &resolved{}
+	var src string
+	switch {
+	case platformID != "" && platform != "":
+		return nil, badRequest("platform_id and platform are mutually exclusive")
+	case platformID != "":
+		e, ok := s.reg.get(platformID)
+		if !ok {
+			return nil, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown platform id %q", platformID)}
+		}
+		// Registered platforms are immutable: reuse the fingerprint
+		// hashed at upload instead of re-walking the graph per request.
+		r.g, r.fp, r.id, src = e.g, e.fp, e.id, e.sourceName
+	case platform != "":
+		var err error
+		r.g, err = decodePlatform(platform, s.cfg.maxPlatformBytes())
+		if err != nil {
+			return nil, err
+		}
+		r.fp = steady.Fingerprint(r.g)
+	default:
+		return nil, badRequest("one of platform_id or platform is required")
+	}
+	if sourceName != "" {
+		src = sourceName
+	}
+	if src == "" {
+		return nil, badRequest("source is required (the platform declares no default)")
+	}
+	source, ok := r.g.NodeByName(src)
+	if !ok {
+		return nil, badRequest("unknown source node %q", src)
+	}
+	r.source = source
+	if len(targetNames) == 0 {
+		return nil, badRequest("at least one target is required")
+	}
+	r.targets = make([]graph.NodeID, len(targetNames))
+	for i, name := range targetNames {
+		t, ok := r.g.NodeByName(name)
+		if !ok {
+			return nil, badRequest("unknown target node %q", name)
+		}
+		r.targets[i] = t
+	}
+	// Validate the instance up front (duplicate targets, source in the
+	// target set, inactive nodes).
+	p, err := steady.NewProblem(r.g, r.source, r.targets)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	r.p = p
+	return r, nil
+}
+
 // Plan resolves and executes one plan request through the full serving
 // stack (registry, cache, coalescer, shard pool). It returns the
 // response, how it was served ("hit", "coalesced" or "miss") and the
 // executing shard index (-1 unless this call computed the plan).
 // It is the library entry point behind POST /v1/plan.
 func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
-	var (
-		g   *graph.Graph
-		fp  uint64
-		id  string
-		src string
-	)
-	switch {
-	case req.PlatformID != "" && req.Platform != "":
-		return nil, "", -1, badRequest("platform_id and platform are mutually exclusive")
-	case req.PlatformID != "":
-		e, ok := s.reg.get(req.PlatformID)
-		if !ok {
-			return nil, "", -1, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown platform id %q", req.PlatformID)}
-		}
-		// Registered platforms are immutable: reuse the fingerprint
-		// hashed at upload instead of re-walking the graph per request.
-		g, fp, id, src = e.g, e.fp, e.id, e.sourceName
-	case req.Platform != "":
-		var err error
-		g, err = decodePlatform(req.Platform, s.cfg.maxPlatformBytes())
-		if err != nil {
-			return nil, "", -1, err
-		}
-		fp = steady.Fingerprint(g)
-	default:
-		return nil, "", -1, badRequest("one of platform_id or platform is required")
+	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	if err != nil {
+		return nil, "", -1, err
 	}
-	if req.Source != "" {
-		src = req.Source
-	}
-	if src == "" {
-		return nil, "", -1, badRequest("source is required (the platform declares no default)")
-	}
-	source, ok := g.NodeByName(src)
-	if !ok {
-		return nil, "", -1, badRequest("unknown source node %q", src)
-	}
-	if len(req.Targets) == 0 {
-		return nil, "", -1, badRequest("at least one target is required")
-	}
-	targets := make([]graph.NodeID, len(req.Targets))
-	for i, name := range req.Targets {
-		t, ok := g.NodeByName(name)
-		if !ok {
-			return nil, "", -1, badRequest("unknown target node %q", name)
-		}
-		targets[i] = t
-	}
-	// Validate the instance up front so malformed requests (duplicate
-	// targets, source in the target set) fail with 400 here, and any
-	// later executePlan failure is a genuine 500.
-	if _, err := steady.NewProblem(g, source, targets); err != nil {
-		return nil, "", -1, badRequest("%v", err)
-	}
+	g, fp, id, source, targets := res.g, res.fp, res.id, res.source, res.targets
 	bounds, err := boundsMask(req.Bounds)
 	if err != nil {
 		return nil, "", -1, badRequest("%v", err)

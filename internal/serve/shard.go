@@ -49,6 +49,18 @@ func (p *shardPool) run(key planKey, fn func(ev *steady.Evaluator) error) (int, 
 	return idx, fn(s.ev)
 }
 
+// runOn serialises fn with the other work of shard idx without
+// handing it the shard's evaluator: the what-if fan-out borrows the
+// shard lanes for scenario jobs that bring their own cloned
+// evaluators, so scenario work and plan requests share one concurrency
+// budget.
+func (p *shardPool) runOn(idx int, fn func()) {
+	s := p.shards[idx]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
 // stats aggregates the cumulative solver statistics of every shard and
 // returns the per-shard served-request counts.
 func (p *shardPool) stats() (steady.SolveStats, []int64) {

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/steady"
+	"repro/internal/whatif"
+)
+
+// WhatifRequest is the body of POST /v1/whatif: the same platform /
+// source / target addressing as PlanRequest plus the scenario family.
+type WhatifRequest struct {
+	PlatformID string   `json:"platform_id,omitempty"`
+	Platform   string   `json:"platform,omitempty"`
+	Source     string   `json:"source,omitempty"`
+	Targets    []string `json:"targets"`
+	// NodeFailures selects the single-node-failure family; omitted (or
+	// null) means enabled.
+	NodeFailures *bool `json:"node_failures,omitempty"`
+	// FailNodes restricts node failures to these nodes; omitted or null
+	// means every active non-source node.
+	FailNodes []string `json:"fail_nodes"`
+	// EdgeFactors selects the per-edge scenarios: 0 is a link failure,
+	// f > 1 multiplies the edge cost by f (bandwidth degradation).
+	// Omitted or null means [0] (every link failure); an explicit empty
+	// list means no edge scenarios.
+	EdgeFactors []float64 `json:"edge_factors"`
+	// Sources lists the secondary-source promotion candidates. Omitted
+	// or null means every active non-source node; empty means none.
+	Sources []string `json:"sources"`
+}
+
+// WhatifEdge identifies a platform edge on the wire.
+type WhatifEdge struct {
+	ID   int    `json:"id"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// WhatifLine is one NDJSON line of a /v1/whatif response. The first
+// line has Kind "baseline", then one line per scenario in the
+// deterministic enumeration order (node failures by node ID, edge
+// scenarios by edge ID with factors in request order, promotions in
+// candidate order), and a final "summary" line. Like PlanResponse, the
+// full line sequence is a pure function of the request and the
+// platform content: the concurrent shard fan-out is bit-identical to
+// the serial single-evaluator scenario loop.
+type WhatifLine struct {
+	Kind string `json:"kind"`
+
+	// Baseline fields.
+	PlatformID        string   `json:"platform_id,omitempty"`
+	Fingerprint       string   `json:"fingerprint,omitempty"`
+	Source            string   `json:"source,omitempty"`
+	Targets           []string `json:"targets,omitempty"`
+	Scenarios         int      `json:"scenarios,omitempty"`
+	LBPeriod          float64  `json:"lb_period,omitempty"`
+	MultiSourcePeriod float64  `json:"multisource_period,omitempty"`
+
+	// Scenario fields.
+	Node         string      `json:"node,omitempty"`
+	Edge         *WhatifEdge `json:"edge,omitempty"`
+	Factor       float64     `json:"factor,omitempty"`
+	Infeasible   bool        `json:"infeasible,omitempty"`
+	TargetLost   bool        `json:"target_lost,omitempty"`
+	Period       float64     `json:"period,omitempty"`
+	Throughput   float64     `json:"throughput,omitempty"`
+	Delta        float64     `json:"delta,omitempty"`
+	TreeSurvives bool        `json:"tree_survives,omitempty"`
+	TreePeriod   float64     `json:"tree_period,omitempty"`
+	Error        string      `json:"error,omitempty"`
+
+	// Summary fields.
+	Errors        int            `json:"errors,omitempty"`
+	TreeSurviving int            `json:"tree_surviving,omitempty"`
+	CriticalNodes []WhatifRanked `json:"critical_nodes,omitempty"`
+	CriticalEdges []WhatifRanked `json:"critical_edges,omitempty"`
+}
+
+// WhatifRanked is one entry of the summary's criticality rankings.
+type WhatifRanked struct {
+	Node       string      `json:"node,omitempty"`
+	Edge       *WhatifEdge `json:"edge,omitempty"`
+	Delta      float64     `json:"delta"`
+	Infeasible bool        `json:"infeasible,omitempty"`
+}
+
+// WhatifStats is the what-if section of GET /v1/stats.
+type WhatifStats struct {
+	Requests  int64             `json:"requests"`
+	Scenarios int64             `json:"scenarios"`
+	Solver    steady.SolveStats `json:"solver"`
+}
+
+// summaryRankCap bounds the summary's criticality rankings: the
+// per-scenario lines already carry every delta, the summary is the
+// headline.
+const summaryRankCap = 16
+
+// whatifConfig resolves the wire-level scenario family against the
+// platform.
+func whatifConfig(g *graph.Graph, req *WhatifRequest) (whatif.Config, error) {
+	cfg := whatif.Config{
+		NodeFailures: req.NodeFailures == nil || *req.NodeFailures,
+		EdgeFactors:  req.EdgeFactors,
+	}
+	if req.EdgeFactors == nil {
+		cfg.EdgeFactors = []float64{0}
+	}
+	for _, f := range cfg.EdgeFactors {
+		// Standard JSON cannot carry NaN/Inf, but whatifConfig is also a
+		// library path — reject them explicitly rather than panicking in
+		// SetEdgeCost mid-stream.
+		if f < 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+			return cfg, badRequest("edge factor %v is not a finite non-negative number", f)
+		}
+	}
+	if req.FailNodes != nil {
+		cfg.FailNodes = make([]graph.NodeID, len(req.FailNodes))
+		for i, name := range req.FailNodes {
+			id, ok := g.NodeByName(name)
+			if !ok {
+				return cfg, badRequest("unknown fail node %q", name)
+			}
+			cfg.FailNodes[i] = id
+		}
+	}
+	if req.Sources == nil {
+		cfg.AllSources = true
+	} else {
+		cfg.PromoteSources = make([]graph.NodeID, len(req.Sources))
+		for i, name := range req.Sources {
+			id, ok := g.NodeByName(name)
+			if !ok {
+				return cfg, badRequest("unknown promotion candidate %q", name)
+			}
+			cfg.PromoteSources[i] = id
+		}
+	}
+	return cfg, nil
+}
+
+func whatifEdge(g *graph.Graph, id int) *WhatifEdge {
+	e := g.Edge(id)
+	return &WhatifEdge{ID: id, From: g.Name(e.From), To: g.Name(e.To)}
+}
+
+// whatifBaselineLine renders the first NDJSON line.
+func whatifBaselineLine(id string, fp uint64, base *whatif.Baseline, scenarios int) WhatifLine {
+	g := base.Problem.G
+	return WhatifLine{
+		Kind:              "baseline",
+		PlatformID:        id,
+		Fingerprint:       fmt.Sprintf("%016x", fp),
+		Source:            g.Name(base.Problem.Source),
+		Targets:           nodeNames(g, base.Problem.Targets),
+		Scenarios:         scenarios,
+		LBPeriod:          base.LB.Period,
+		MultiSourcePeriod: base.MultiSource.Period,
+		TreeSurvives:      base.Tree != nil,
+		TreePeriod:        base.TreePeriod,
+	}
+}
+
+// whatifScenarioLine renders one scenario result.
+func whatifScenarioLine(g *graph.Graph, r whatif.Result) WhatifLine {
+	line := WhatifLine{
+		Kind:         string(r.Kind),
+		Infeasible:   r.Infeasible,
+		TargetLost:   r.TargetLost,
+		Period:       r.Period,
+		Throughput:   r.Throughput,
+		Delta:        r.Delta,
+		TreeSurvives: r.TreeSurvives,
+		TreePeriod:   r.TreePeriod,
+	}
+	switch r.Kind {
+	case whatif.KindNodeFailure, whatif.KindPromoteSource:
+		line.Node = g.Name(r.Node)
+	case whatif.KindEdgeFailure:
+		line.Edge = whatifEdge(g, r.Edge)
+	case whatif.KindEdgeDegrade:
+		line.Edge = whatifEdge(g, r.Edge)
+		line.Factor = r.Factor
+	}
+	if r.Err != nil {
+		line.Error = r.Err.Error()
+	}
+	return line
+}
+
+// whatifSummaryLine renders the final NDJSON line from the assembled
+// report.
+func whatifSummaryLine(g *graph.Graph, rep *whatif.Report) WhatifLine {
+	line := WhatifLine{
+		Kind:          "summary",
+		Scenarios:     len(rep.Results),
+		TreeSurviving: rep.Surviving,
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			line.Errors++
+		}
+	}
+	for _, rk := range rep.CriticalNodes {
+		if len(line.CriticalNodes) == summaryRankCap {
+			break
+		}
+		line.CriticalNodes = append(line.CriticalNodes, WhatifRanked{
+			Node: g.Name(rk.Node), Delta: rk.Delta, Infeasible: rk.Infeasible,
+		})
+	}
+	for _, rk := range rep.CriticalEdges {
+		if len(line.CriticalEdges) == summaryRankCap {
+			break
+		}
+		line.CriticalEdges = append(line.CriticalEdges, WhatifRanked{
+			Edge: whatifEdge(g, rk.Edge), Delta: rk.Delta, Infeasible: rk.Infeasible,
+		})
+	}
+	return line
+}
+
+// handleWhatif is POST /v1/whatif: baseline on the routed shard, then
+// the scenario family fanned out over the shard lanes on evaluator
+// clones, streamed as NDJSON in the deterministic enumeration order
+// (results are emitted as soon as they and all their predecessors are
+// done), with a final summary line.
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	var req WhatifRequest
+	if err := decodeBody(w, r, 2*s.cfg.maxPlatformBytes()+(1<<16), &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg, err := whatifConfig(res.g, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := res.p
+	key := planKey{id: res.id, fp: res.fp, source: res.source, targets: targetsKey(res.targets)}
+	var base *whatif.Baseline
+	if _, err := s.pool.run(key, func(ev *steady.Evaluator) error {
+		var err error
+		base, err = whatif.NewBaseline(ev, p)
+		return err
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	scenarios := whatif.Enumerate(res.g, res.source, cfg)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line WhatifLine) {
+		enc.Encode(line) //nolint:errcheck // client gone: keep draining, nothing to report
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(whatifBaselineLine(res.id, res.fp, base, len(scenarios)))
+
+	// Fan the scenarios over the shard lanes, starting at the shard the
+	// baseline routed to. Every scenario runs on its own clone of the
+	// baseline evaluator over a worker-private platform copy, so the
+	// results — and therefore the streamed bytes — cannot depend on
+	// scheduling. If the client hangs up mid-stream the remaining
+	// scenarios are drained as canceled instead of solved, so a dead
+	// request does not hold the shard lanes against live plan traffic
+	// (cancellation never changes the bytes of a body that is actually
+	// delivered — a canceled request has no reader).
+	ctx := r.Context()
+	results := make([]whatif.Result, len(scenarios))
+	ready := make(chan int, len(scenarios))
+	var (
+		next       atomic.Int64
+		statsMu    sync.Mutex
+		scenStats  steady.SolveStats
+		wg         sync.WaitGroup
+		startShard = int(key.routeHash() % uint64(len(s.pool.shards)))
+	)
+	workers := len(s.pool.shards)
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(shardIdx int) {
+			defer wg.Done()
+			s.pool.runOn(shardIdx, func() {
+				g := res.g.Clone()
+				var local steady.SolveStats
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(scenarios) {
+						break
+					}
+					if err := ctx.Err(); err != nil {
+						results[i] = whatif.Result{Scenario: scenarios[i], Err: err}
+						ready <- i
+						continue
+					}
+					sev := base.Ev.Clone()
+					results[i] = whatif.Eval(base, sev, g, scenarios[i])
+					local.Add(sev.Stats())
+					ready <- i
+				}
+				statsMu.Lock()
+				scenStats.Add(local)
+				statsMu.Unlock()
+			})
+		}((startShard + i) % len(s.pool.shards))
+	}
+
+	// Stream in order: emit scenario i once it and every predecessor
+	// have landed.
+	done := make([]bool, len(scenarios))
+	emitted := 0
+	for emitted < len(scenarios) {
+		done[<-ready] = true
+		for emitted < len(scenarios) && done[emitted] {
+			emit(whatifScenarioLine(res.g, results[emitted]))
+			emitted++
+		}
+	}
+	wg.Wait()
+
+	rep := whatif.BuildReport(base, scenarios, results)
+	emit(whatifSummaryLine(res.g, rep))
+
+	s.mu.Lock()
+	s.whatif.Requests++
+	s.whatif.Scenarios += int64(len(scenarios))
+	s.whatif.Solver.Add(scenStats)
+	s.mu.Unlock()
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/steady"
+	"repro/internal/whatif"
+)
+
+// expectedWhatifBody builds the serial single-evaluator reference for
+// a what-if request: baseline on a fresh evaluator, then every
+// scenario in enumeration order on a clone of the baseline evaluator
+// over a private platform copy — exactly what the handler's shard
+// fan-out must reproduce byte for byte.
+func expectedWhatifBody(t *testing.T, s *Server, req *WhatifRequest) []byte {
+	t.Helper()
+	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := whatifConfig(res.g, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := whatif.NewBaseline(steady.NewEvaluator(), res.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := whatif.Enumerate(res.g, res.source, cfg)
+	results := make([]whatif.Result, len(scenarios))
+	for i, sc := range scenarios {
+		results[i] = whatif.Eval(base, base.Ev.Clone(), res.g.Clone(), sc)
+	}
+	rep := whatif.BuildReport(base, scenarios, results)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	lines := []WhatifLine{whatifBaselineLine(res.id, res.fp, base, len(scenarios))}
+	for _, r := range results {
+		lines = append(lines, whatifScenarioLine(res.g, r))
+	}
+	lines = append(lines, whatifSummaryLine(res.g, rep))
+	for _, line := range lines {
+		if err := enc.Encode(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWhatifEndpoint checks the NDJSON shape and the semantics on the
+// diamond platform: one baseline line, one line per scenario in
+// enumeration order, one summary, and sensible criticality.
+func TestWhatifEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
+		PlatformID: "d", Targets: []string{"t1", "t2"},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	raw := strings.TrimSuffix(w.Body.String(), "\n")
+	var lines []WhatifLine
+	for _, ln := range strings.Split(raw, "\n") {
+		var l WhatifLine
+		if err := json.Unmarshal([]byte(ln), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		lines = append(lines, l)
+	}
+	// Diamond: 4 node failures + 8 link failures + 4 promotions.
+	const scenarios = 4 + 8 + 4
+	if len(lines) != scenarios+2 {
+		t.Fatalf("got %d lines, want %d", len(lines), scenarios+2)
+	}
+	head, tail := lines[0], lines[len(lines)-1]
+	if head.Kind != "baseline" || head.Scenarios != scenarios || head.PlatformID != "d" || head.LBPeriod <= 0 {
+		t.Errorf("baseline line: %+v", head)
+	}
+	if tail.Kind != "summary" || tail.Scenarios != scenarios || tail.Errors != 0 {
+		t.Errorf("summary line: %+v", tail)
+	}
+	if len(tail.CriticalNodes) != 4 || len(tail.CriticalEdges) != 8 {
+		t.Errorf("rankings: %d nodes, %d edges", len(tail.CriticalNodes), len(tail.CriticalEdges))
+	}
+	// Deltas rank throughput for the surviving targets, so losing a
+	// relay (which throttles everyone left) must rank worst — losing a
+	// target merely shrinks the demand.
+	worst := tail.CriticalNodes[0]
+	if worst.Node != "r1" && worst.Node != "r2" {
+		t.Errorf("worst node %+v, want a relay", worst)
+	}
+	for _, l := range lines[1 : scenarios+1] {
+		if l.Error != "" {
+			t.Errorf("scenario error: %+v", l)
+		}
+	}
+	// Per-scenario order: node failures first (by node ID), then edges,
+	// then promotions.
+	if lines[1].Kind != string(whatif.KindNodeFailure) {
+		t.Errorf("first scenario line: %+v", lines[1])
+	}
+	if lines[scenarios].Kind != string(whatif.KindPromoteSource) {
+		t.Errorf("last scenario line: %+v", lines[scenarios])
+	}
+
+	// Stats: the request and its scenarios are accounted.
+	st := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Whatif.Requests != 1 || st.Whatif.Scenarios != scenarios || st.Whatif.Solver.Evaluations == 0 {
+		t.Errorf("whatif stats: %+v", st.Whatif)
+	}
+}
+
+func TestWhatifValidation(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
+	f := func(v float64) []float64 { return []float64{v} }
+	cases := []struct {
+		req  WhatifRequest
+		want int
+	}{
+		{WhatifRequest{PlatformID: "missing", Targets: []string{"t1"}}, http.StatusNotFound},
+		{WhatifRequest{PlatformID: "d"}, http.StatusBadRequest},                                              // no targets
+		{WhatifRequest{PlatformID: "d", Targets: []string{"zz"}}, http.StatusBadRequest},                     // unknown target
+		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, EdgeFactors: f(-1)}, http.StatusBadRequest}, // negative factor
+		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, FailNodes: []string{"zz"}}, http.StatusBadRequest},
+		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, Sources: []string{"zz"}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		if w := doJSON(t, s, http.MethodPost, "/v1/whatif", c.req); w.Code != c.want {
+			t.Errorf("case %d: got %d, want %d (%s)", i, w.Code, c.want, w.Body.String())
+		}
+	}
+}
+
+// TestWhatifScenarioSubsets: explicit empty lists disable families and
+// explicit candidates restrict them.
+func TestWhatifScenarioSubsets(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
+	off := false
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
+		PlatformID:   "d",
+		Targets:      []string{"t1", "t2"},
+		NodeFailures: &off,
+		EdgeFactors:  []float64{},    // none
+		Sources:      []string{"r1"}, // one promotion
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
+	}
+	lines := strings.Split(strings.TrimSuffix(w.Body.String(), "\n"), "\n")
+	if len(lines) != 3 { // baseline + 1 promotion + summary
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), w.Body.String())
+	}
+	var sc WhatifLine
+	if err := json.Unmarshal([]byte(lines[1]), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Kind != string(whatif.KindPromoteSource) || sc.Node != "r1" {
+		t.Errorf("scenario line: %+v", sc)
+	}
+}
+
+// TestConcurrentWhatifBitIdenticalToSerial is the /v1/whatif extension
+// of the plan determinism test: 8 goroutines hammer the endpoint with
+// a mix of what-if requests while plan traffic shares the shard lanes,
+// and every streamed NDJSON body must be byte-identical to the serial
+// single-evaluator scenario loop.
+func TestConcurrentWhatifBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent determinism run is slow")
+	}
+	s := newTestServer(t, Config{Shards: 4})
+	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
+
+	specs := []*WhatifRequest{
+		{PlatformID: "d", Targets: []string{"t1", "t2"}},
+		{PlatformID: "d", Targets: []string{"t1"}, EdgeFactors: []float64{0, 4}},
+		{PlatformID: "d", Targets: []string{"t2", "t1"}, Sources: []string{}},
+	}
+	expected := make([][]byte, len(specs))
+	requests := make([][]byte, len(specs))
+	for i, spec := range specs {
+		expected[i] = expectedWhatifBody(t, s, spec)
+		var err error
+		requests[i], err = json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	planReq, err := json.Marshal(PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"MCPH"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perGoroutine = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*perGoroutine)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for n := 0; n < perGoroutine; n++ {
+				i := (gi + n) % len(specs)
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/whatif", bytes.NewReader(requests[i])))
+				if w.Code != http.StatusOK {
+					errs <- w.Body.String()
+					continue
+				}
+				if !bytes.Equal(w.Body.Bytes(), expected[i]) {
+					errs <- "whatif response diverged from the serial reference"
+				}
+				// Interleave plan traffic on the same shard lanes.
+				pw := httptest.NewRecorder()
+				s.ServeHTTP(pw, httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(planReq)))
+				if pw.Code != http.StatusOK {
+					errs <- pw.Body.String()
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Whatif.Requests != goroutines*perGoroutine {
+		t.Errorf("whatif requests %d, want %d", st.Whatif.Requests, goroutines*perGoroutine)
+	}
+}

@@ -295,3 +295,163 @@ func TestFingerprint(t *testing.T) {
 		t.Error("changing an edge cost did not change the fingerprint")
 	}
 }
+
+// TestEvaluatorEdgeTrialOps checks DropEdgeMulticast and
+// ScaleEdgeMulticast: the trials evaluate the perturbed platform,
+// match direct solves on a mutated clone, and restore the edge mask
+// and costs before returning.
+func TestEvaluatorEdgeTrialOps(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	r := g.AddNode("r")
+	tgt := g.AddNode("t")
+	sr := g.AddEdge(s, r, 1)
+	g.AddEdge(r, tgt, 1)
+	g.AddEdge(s, tgt, 5)
+	p, err := NewProblem(g, s, []graph.NodeID{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator()
+
+	drop, err := ev.DropEdgeMulticast(p, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeDisabled(sr) {
+		t.Fatal("DropEdgeMulticast left the edge disabled")
+	}
+	gd := g.Clone()
+	gd.DisableEdge(sr)
+	pd, err := NewProblem(gd, s, []graph.NodeID{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDrop, err := MulticastLB(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(drop.Period, wantDrop.Period, 1e-9) {
+		t.Errorf("drop-edge trial period %v, want %v", drop.Period, wantDrop.Period)
+	}
+
+	scale, err := ev.ScaleEdgeMulticast(p, sr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Edge(sr).Cost; got != 1 {
+		t.Fatalf("ScaleEdgeMulticast left cost %v, want 1", got)
+	}
+	gs := g.Clone()
+	gs.SetEdgeCost(sr, 10)
+	ps, err := NewProblem(gs, s, []graph.NodeID{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScale, err := MulticastLB(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(scale.Period, wantScale.Period, 1e-9) {
+		t.Errorf("scale-edge trial period %v, want %v", scale.Period, wantScale.Period)
+	}
+	if scale.Period <= drop.Period == (wantScale.Period > wantDrop.Period) {
+		t.Errorf("trial ordering inconsistent with direct solves")
+	}
+
+	// Dropping the only useful edges leaves the slow direct edge.
+	base, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale.Period <= base.Period {
+		t.Errorf("degrading the relay edge did not hurt: %v <= %v", scale.Period, base.Period)
+	}
+}
+
+// TestEvaluatorCloneIndependence pins the Clone contract: a clone
+// answers exactly like its parent, and the two share no mutable state —
+// solving on one changes neither the other's results nor its
+// SolveStats.
+func TestEvaluatorCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var problems []Problem
+	for len(problems) < 2 {
+		if p, ok := randomProblem(rng); ok {
+			problems = append(problems, p)
+		}
+	}
+	warm, other := problems[0], problems[1]
+
+	parent := NewEvaluator()
+	if _, err := parent.MulticastLB(warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.MultiSourceUB(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := parent.Clone()
+	if got := clone.Stats(); got != (SolveStats{}) {
+		t.Fatalf("clone starts with stats %+v, want zero", got)
+	}
+
+	// The clone answers the warmed problem from the copied cache...
+	cb, err := clone.MulticastLB(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parent.MulticastLB(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(cb.Period) != math.Float64bits(pb.Period) {
+		t.Errorf("clone period %v != parent period %v", cb.Period, pb.Period)
+	}
+	if d := clone.Stats(); d.CacheHits != 1 {
+		t.Errorf("clone did not inherit the result cache: %+v", d)
+	}
+
+	// ...and fresh work on the clone leaves the parent untouched.
+	before := parent.Stats()
+	if _, err := clone.MulticastLB(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.ScatterUB(other); err != nil {
+		t.Fatal(err)
+	}
+	after := parent.Stats()
+	if d := after.Delta(before); d != (SolveStats{}) {
+		t.Errorf("clone work leaked into parent stats: %+v", d)
+	}
+	if cs := clone.Stats(); cs.Solves == 0 {
+		t.Errorf("clone recorded no solves of its own: %+v", cs)
+	}
+
+	// Parent work after the clone point leaves the clone untouched.
+	cloneBefore := clone.Stats()
+	if _, err := parent.MultiSourceUB(other, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := clone.Stats(); got != cloneBefore {
+		t.Errorf("parent work leaked into clone stats: before %+v after %+v", cloneBefore, got)
+	}
+}
+
+// TestFingerprintEdgeMask: disabling an edge changes the fingerprint,
+// and re-enabling it restores the original value bit-for-bit.
+func TestFingerprintEdgeMask(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	id := g.AddEdge(s, a, 1)
+	fp := Fingerprint(g)
+	g.DisableEdge(id)
+	if Fingerprint(g) == fp {
+		t.Error("disabling an edge did not change the fingerprint")
+	}
+	g.EnableEdge(id)
+	if Fingerprint(g) != fp {
+		t.Error("re-enabling the edge did not restore the fingerprint")
+	}
+}

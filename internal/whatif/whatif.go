@@ -1,0 +1,507 @@
+// Package whatif is the resilience and sensitivity engine: given a
+// Series-of-Multicasts instance it evaluates a family of perturbation
+// scenarios — single-node failures, per-edge link failures and
+// bandwidth degradations, and secondary-source promotions — and ranks
+// how critical every node and edge is to the steady-state throughput.
+//
+// Real heterogeneous platforms degrade: nodes fail, links slow down,
+// sources move. The paper's bounds answer "how fast can this platform
+// multicast", and this package answers "how much of that survives when
+// X breaks" without replanning cold: every scenario runs on a
+// steady.Evaluator clone seeded from the baseline solve, so the
+// baseline's pooled Multicast-LB cuts and multisource path columns
+// warm-start each perturbed LP (DESIGN.md Section 10).
+//
+// Determinism contract: scenario enumeration is a pure function of the
+// platform and the config, and every scenario is evaluated on a fresh
+// clone of the same baseline evaluator over a private graph copy, so
+// Analyze returns bit-identical reports for any worker count — the
+// same contract the serving layer's /v1/whatif endpoint streams over
+// HTTP.
+package whatif
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/heur"
+	"repro/internal/steady"
+	"repro/internal/tree"
+)
+
+// Kind names a scenario class.
+type Kind string
+
+const (
+	// KindNodeFailure removes one non-source node (and all its links).
+	KindNodeFailure Kind = "node-failure"
+	// KindEdgeFailure removes one directed edge.
+	KindEdgeFailure Kind = "edge-failure"
+	// KindEdgeDegrade multiplies one directed edge's cost by Factor.
+	KindEdgeDegrade Kind = "edge-degrade"
+	// KindPromoteSource promotes one node to a secondary source.
+	KindPromoteSource Kind = "promote-source"
+)
+
+// Scenario is one perturbation of the baseline platform.
+type Scenario struct {
+	Kind Kind
+	// Node is the failed node (KindNodeFailure) or the promotion
+	// candidate (KindPromoteSource).
+	Node graph.NodeID
+	// Edge is the perturbed edge ID (KindEdgeFailure, KindEdgeDegrade).
+	Edge int
+	// Factor is the cost multiplier of KindEdgeDegrade (> 1 means a
+	// slower link; 0 denotes KindEdgeFailure in configs).
+	Factor float64
+}
+
+// Config parameterises a what-if analysis.
+type Config struct {
+	// Workers bounds the concurrent scenario evaluations; values < 1
+	// mean runtime.GOMAXPROCS(0). The report is bit-identical for any
+	// worker count.
+	Workers int
+	// NodeFailures enables one scenario per active non-source node.
+	NodeFailures bool
+	// FailNodes restricts the node-failure scenarios to an explicit
+	// candidate list instead of every active non-source node (ignored
+	// unless NodeFailures is set; candidates that are inactive or the
+	// source are skipped).
+	FailNodes []graph.NodeID
+	// EdgeFactors enables, per active edge, one scenario per factor: 0
+	// is a link failure, a factor f > 0 multiplies the edge cost by f.
+	// Factors of exactly 1 are skipped (no-ops).
+	EdgeFactors []float64
+	// PromoteSources lists secondary-source candidates; nil with
+	// AllSources false means none.
+	PromoteSources []graph.NodeID
+	// AllSources promotes every active non-source node instead of the
+	// explicit PromoteSources list.
+	AllSources bool
+	// Cold evaluates every scenario on a fresh evaluator instead of a
+	// baseline clone — the replan-from-scratch reference that
+	// BenchmarkWhatifWarm is measured against. Results are identical up
+	// to LP degeneracy; only the solver effort changes.
+	Cold bool
+}
+
+// DefaultConfig is the scenario family the serving layer and cmd/mcast
+// run when the caller does not choose: every node failure, every link
+// failure, and every source promotion.
+func DefaultConfig() Config {
+	return Config{NodeFailures: true, EdgeFactors: []float64{0}, AllSources: true}
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// Baseline is the unperturbed reference every scenario is compared
+// against. It owns a private evaluator snapshot taken after the
+// baseline solves, so clones of Ev inherit the pooled cuts and path
+// columns whatever happens to the evaluator the baseline was computed
+// on (serving shards Reset theirs between requests).
+type Baseline struct {
+	Problem steady.Problem
+	// LB is the Multicast-LB bound, the throughput reference of node
+	// and edge scenarios.
+	LB *steady.Bound
+	// MultiSource is MulticastMultiSource-UB with no promoted sources,
+	// the reference of promotion scenarios.
+	MultiSource *steady.Bound
+	// Tree is the MCPH multicast tree, used for the cheap "does the
+	// incumbent plan survive this scenario" check; nil when MCPH fails
+	// on the instance (e.g. an unreachable target).
+	Tree *tree.Tree
+	// TreePeriod is Tree's one-port period (0 when Tree is nil).
+	TreePeriod float64
+	// Ev is the evaluator snapshot scenario clones are taken from.
+	Ev *steady.Evaluator
+}
+
+// NewBaseline computes the baseline bounds and MCPH tree on the given
+// evaluator (seeding its cut and path pools), then snapshots it. The
+// problem must already be validated (steady.NewProblem).
+func NewBaseline(ev *steady.Evaluator, p steady.Problem) (*Baseline, error) {
+	lb, err := ev.MulticastLB(p)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: baseline Multicast-LB: %w", err)
+	}
+	ms, err := ev.MultiSourceUB(p, nil)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: baseline MulticastMultiSource-UB: %w", err)
+	}
+	b := &Baseline{Problem: p, LB: lb, MultiSource: ms, Ev: ev.Clone()}
+	if res, err := heur.MCPH(p); err == nil {
+		b.Tree = res.Tree
+		b.TreePeriod = res.Period
+	}
+	return b, nil
+}
+
+// Enumerate lists the scenarios of cfg on the given instance, in the
+// deterministic report order: node failures by increasing node ID,
+// then edge scenarios by increasing edge ID (factors in config order),
+// then source promotions in candidate order.
+func Enumerate(g *graph.Graph, source graph.NodeID, cfg Config) []Scenario {
+	var out []Scenario
+	if cfg.NodeFailures {
+		cands := cfg.FailNodes
+		if cands == nil {
+			cands = g.ActiveNodes()
+		}
+		for _, v := range cands {
+			if v != source && g.Active(v) {
+				out = append(out, Scenario{Kind: KindNodeFailure, Node: v})
+			}
+		}
+	}
+	if len(cfg.EdgeFactors) > 0 {
+		for _, id := range g.ActiveEdges() {
+			for _, f := range cfg.EdgeFactors {
+				switch {
+				case f == 0:
+					out = append(out, Scenario{Kind: KindEdgeFailure, Edge: id})
+				case f != 1:
+					out = append(out, Scenario{Kind: KindEdgeDegrade, Edge: id, Factor: f})
+				}
+			}
+		}
+	}
+	cands := cfg.PromoteSources
+	if cfg.AllSources {
+		cands = nil
+		for _, v := range g.ActiveNodes() {
+			if v != source {
+				cands = append(cands, v)
+			}
+		}
+	}
+	for _, v := range cands {
+		if v != source && g.Active(v) {
+			out = append(out, Scenario{Kind: KindPromoteSource, Node: v})
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one scenario evaluation.
+type Result struct {
+	Scenario
+	// Err reports an evaluation failure; the other fields are zero.
+	Err error
+	// Infeasible marks a scenario under which some target cannot be
+	// served at all (throughput 0).
+	Infeasible bool
+	// Period and Throughput are the perturbed bound of the scenario's
+	// reference program (Multicast-LB for node and edge scenarios,
+	// MulticastMultiSource-UB for promotions).
+	Period     float64
+	Throughput float64
+	// Delta is Throughput minus the baseline throughput of the same
+	// program: negative for degradations, positive when a promotion
+	// helps.
+	Delta float64
+	// TargetLost marks a node failure that removed a multicast target
+	// (the remaining targets are still evaluated).
+	TargetLost bool
+	// TreeSurvives reports whether the baseline MCPH tree is still
+	// valid under the scenario; TreePeriod is its (possibly degraded)
+	// one-port period when it survives.
+	TreeSurvives bool
+	TreePeriod   float64
+}
+
+// Eval evaluates one scenario. ev must be private to the call (a
+// Baseline.Ev clone, or a fresh evaluator for cold replans) and g a
+// private copy of the baseline platform, which Eval perturbs and
+// restores. The result depends only on (base, scenario) — never on
+// which worker ran it or what ran before it on g.
+func Eval(base *Baseline, ev *steady.Evaluator, g *graph.Graph, sc Scenario) Result {
+	res := Result{Scenario: sc}
+	p := steady.Problem{G: g, Source: base.Problem.Source, Targets: base.Problem.Targets}
+	switch sc.Kind {
+	case KindNodeFailure:
+		evalNodeFailure(base, ev, g, sc, &res)
+	case KindEdgeFailure:
+		bound, err := ev.DropEdgeMulticast(p, sc.Edge)
+		finishEdge(base, g, sc, bound, err, &res)
+	case KindEdgeDegrade:
+		bound, err := ev.ScaleEdgeMulticast(p, sc.Edge, sc.Factor)
+		finishEdge(base, g, sc, bound, err, &res)
+	case KindPromoteSource:
+		bound, err := ev.PromoteSource(p, nil, sc.Node)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		noteBound(&res, bound, base.MultiSource.Throughput())
+		res.TreeSurvives = base.Tree != nil
+		res.TreePeriod = base.TreePeriod
+	default:
+		res.Err = fmt.Errorf("whatif: unknown scenario kind %q", sc.Kind)
+	}
+	return res
+}
+
+func evalNodeFailure(base *Baseline, ev *steady.Evaluator, g *graph.Graph, sc Scenario, res *Result) {
+	targets := make([]graph.NodeID, 0, len(base.Problem.Targets))
+	for _, t := range base.Problem.Targets {
+		if t == sc.Node {
+			res.TargetLost = true
+			continue
+		}
+		targets = append(targets, t)
+	}
+	g.Deactivate(sc.Node)
+	defer g.Activate(sc.Node)
+	if len(targets) == 0 {
+		res.Infeasible = true
+		res.Delta = -base.LB.Throughput()
+		return
+	}
+	p, err := steady.NewProblem(g, base.Problem.Source, targets)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	bound, err := ev.MulticastLB(p)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	noteBound(res, bound, base.LB.Throughput())
+	if base.Tree != nil && !base.Tree.Nodes(g)[sc.Node] {
+		res.TreeSurvives = true
+		res.TreePeriod = base.TreePeriod
+	}
+}
+
+// finishEdge fills an edge scenario's result from its bound: the tree
+// survives an edge failure iff it does not use the edge, and always
+// survives a degradation (with a recomputed period).
+func finishEdge(base *Baseline, g *graph.Graph, sc Scenario, bound *steady.Bound, err error, res *Result) {
+	if err != nil {
+		res.Err = err
+		return
+	}
+	noteBound(res, bound, base.LB.Throughput())
+	if base.Tree == nil {
+		return
+	}
+	uses := false
+	for _, id := range base.Tree.Edges {
+		if id == sc.Edge {
+			uses = true
+			break
+		}
+	}
+	switch sc.Kind {
+	case KindEdgeFailure:
+		if !uses {
+			res.TreeSurvives = true
+			res.TreePeriod = base.TreePeriod
+		}
+	case KindEdgeDegrade:
+		res.TreeSurvives = true
+		if uses {
+			res.TreePeriod = scaledTreePeriod(g, base.Tree, sc.Edge, sc.Factor)
+		} else {
+			res.TreePeriod = base.TreePeriod
+		}
+	}
+}
+
+func noteBound(res *Result, b *steady.Bound, baseThroughput float64) {
+	if b.Infeasible() {
+		res.Infeasible = true
+		res.Delta = -baseThroughput
+		return
+	}
+	res.Period = b.Period
+	res.Throughput = b.Throughput()
+	res.Delta = res.Throughput - baseThroughput
+}
+
+// scaledTreePeriod recomputes a tree's one-port period with one edge's
+// cost multiplied by factor, without mutating the graph.
+func scaledTreePeriod(g *graph.Graph, t *tree.Tree, edge int, factor float64) float64 {
+	send := make(map[graph.NodeID]float64)
+	period := 0.0
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		cost := e.Cost
+		if id == edge {
+			cost *= factor
+		}
+		send[e.From] += cost
+		if cost > period {
+			period = cost
+		}
+	}
+	for _, s := range send {
+		if s > period {
+			period = s
+		}
+	}
+	return period
+}
+
+// Ranked is one entry of a criticality ranking: the perturbed element
+// and the throughput delta of its worst scenario.
+type Ranked struct {
+	Node  graph.NodeID // node-failure rankings
+	Edge  int          // edge rankings
+	Delta float64
+	// Infeasible marks elements whose failure makes some target
+	// unservable.
+	Infeasible bool
+}
+
+// Report is the outcome of a what-if analysis.
+type Report struct {
+	Baseline *Baseline
+	// Scenarios and Results are index-aligned, in Enumerate order.
+	Scenarios []Scenario
+	Results   []Result
+	// CriticalNodes ranks node failures worst-first (largest throughput
+	// loss; ties by node ID). CriticalEdges ranks edges by their worst
+	// scenario across the configured factors.
+	CriticalNodes []Ranked
+	CriticalEdges []Ranked
+	// Surviving counts the scenarios the baseline MCPH tree survives.
+	Surviving int
+	// BaselineStats is the solver effort of the baseline solves;
+	// ScenarioStats aggregates the per-scenario evaluator effort (the
+	// warm-start win shows up here as fewer simplex iterations than a
+	// cold replan of every scenario).
+	BaselineStats steady.SolveStats
+	ScenarioStats steady.SolveStats
+}
+
+// Analyze runs the full what-if analysis: baseline, concurrent
+// scenario fan-out on evaluator clones, and the criticality rankings.
+// The report is deterministic for any Config.Workers.
+func Analyze(p steady.Problem, cfg Config) (*Report, error) {
+	for _, f := range cfg.EdgeFactors {
+		// Guard here rather than panicking in SetEdgeCost mid-fan-out.
+		if f < 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+			return nil, fmt.Errorf("whatif: edge factor %v is not a finite non-negative number", f)
+		}
+	}
+	ev := steady.NewEvaluator()
+	base, err := NewBaseline(ev, p)
+	if err != nil {
+		return nil, err
+	}
+	scenarios := Enumerate(p.G, p.Source, cfg)
+	results, stats := Run(base, scenarios, cfg)
+	rep := BuildReport(base, scenarios, results)
+	rep.BaselineStats = ev.Stats()
+	rep.ScenarioStats = stats
+	return rep, nil
+}
+
+// Run evaluates the scenarios against the baseline on cfg.workers()
+// concurrent workers and returns the index-aligned results plus the
+// aggregated scenario solver statistics. Each scenario gets a fresh
+// clone of base.Ev (or a fresh evaluator when cfg.Cold) and each
+// worker a private platform copy, so the results are independent of
+// scheduling.
+func Run(base *Baseline, scenarios []Scenario, cfg Config) ([]Result, steady.SolveStats) {
+	results := make([]Result, len(scenarios))
+	var (
+		next  atomic.Int64
+		mu    sync.Mutex
+		stats steady.SolveStats
+		wg    sync.WaitGroup
+	)
+	workers := cfg.workers()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := base.Problem.G.Clone()
+			var local steady.SolveStats
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					break
+				}
+				sev := steady.NewEvaluator()
+				if !cfg.Cold {
+					sev = base.Ev.Clone()
+				}
+				results[i] = Eval(base, sev, g, scenarios[i])
+				local.Add(sev.Stats())
+			}
+			mu.Lock()
+			stats.Add(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results, stats
+}
+
+// BuildReport assembles the rankings from index-aligned scenarios and
+// results.
+func BuildReport(base *Baseline, scenarios []Scenario, results []Result) *Report {
+	rep := &Report{Baseline: base, Scenarios: scenarios, Results: results}
+	worstEdge := make(map[int]Ranked)
+	var edgeOrder []int
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if r.TreeSurvives {
+			rep.Surviving++
+		}
+		switch r.Kind {
+		case KindNodeFailure:
+			rep.CriticalNodes = append(rep.CriticalNodes, Ranked{Node: r.Node, Delta: r.Delta, Infeasible: r.Infeasible})
+		case KindEdgeFailure, KindEdgeDegrade:
+			w, seen := worstEdge[r.Edge]
+			if !seen {
+				edgeOrder = append(edgeOrder, r.Edge)
+				w = Ranked{Edge: r.Edge, Delta: r.Delta, Infeasible: r.Infeasible}
+			} else {
+				if r.Delta < w.Delta {
+					w.Delta = r.Delta
+				}
+				w.Infeasible = w.Infeasible || r.Infeasible
+			}
+			worstEdge[r.Edge] = w
+		}
+	}
+	for _, id := range edgeOrder {
+		rep.CriticalEdges = append(rep.CriticalEdges, worstEdge[id])
+	}
+	sort.SliceStable(rep.CriticalNodes, func(i, j int) bool {
+		a, b := rep.CriticalNodes[i], rep.CriticalNodes[j]
+		if a.Delta != b.Delta {
+			return a.Delta < b.Delta
+		}
+		return a.Node < b.Node
+	})
+	sort.SliceStable(rep.CriticalEdges, func(i, j int) bool {
+		a, b := rep.CriticalEdges[i], rep.CriticalEdges[j]
+		if a.Delta != b.Delta {
+			return a.Delta < b.Delta
+		}
+		return a.Edge < b.Edge
+	})
+	return rep
+}
