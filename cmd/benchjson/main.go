@@ -7,7 +7,7 @@
 //
 //	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH_sweep.json
 //	benchjson -o BENCH_sweep.json bench.out
-//	benchjson -compare [-tolerance 0.25] [-min-ns 1000000] old.json new.json
+//	benchjson -compare [-tolerance 0.25] [-bytes-tolerance 0.35] [-min-ns 1000000] old.json new.json
 //
 // Every `BenchmarkName-P  N  <value> <unit> ...` line becomes one JSON
 // object; ns/op, B/op and allocs/op map to fixed fields, and every
@@ -16,7 +16,9 @@
 //
 // The -compare mode is CI's bench-regression guard: it exits non-zero
 // when any benchmark present in both files has regressed its ns/op by
-// more than -tolerance (relative) against the committed baseline.
+// more than -tolerance (relative) or its bytes/op by more than
+// -bytes-tolerance against the committed baseline — allocation wins
+// are locked in the same way timing wins are.
 // Benchmarks faster than -min-ns in the baseline are skipped — at
 // -benchtime=1x their timing is dominated by scheduler noise.
 // Benchmarks present in only one of the two files are reported to
@@ -52,8 +54,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_sweep.json", "output JSON file (\"-\" for stdout)")
-	compare := flag.Bool("compare", false, "compare two JSON files (baseline, candidate) and fail on ns/op regressions")
+	compare := flag.Bool("compare", false, "compare two JSON files (baseline, candidate) and fail on ns/op and bytes/op regressions")
 	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare")
+	bytesTol := flag.Float64("bytes-tolerance", 0.35, "relative bytes/op regression allowed by -compare (0 disables the bytes gate)")
 	minNs := flag.Float64("min-ns", 1e6, "with -compare, skip benchmarks whose baseline ns/op is below this (timing noise)")
 	strict := flag.Bool("strict", false, "with -compare, also fail when a baseline benchmark was not run (baseline drift)")
 	flag.Parse()
@@ -70,12 +73,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, regressions, removed := Compare(old, cur, *tolerance, *minNs)
+		report, regressions, removed := Compare(old, cur, *tolerance, *bytesTol, *minNs)
 		for _, line := range report {
 			fmt.Fprintln(os.Stderr, line)
 		}
 		if regressions > 0 {
-			log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s", regressions, *tolerance*100, flag.Arg(0))
+			log.Fatalf("%d benchmark(s) regressed (ns/op beyond %.0f%% or bytes/op beyond %.0f%%) vs %s",
+				regressions, *tolerance*100, *bytesTol*100, flag.Arg(0))
 		}
 		if *strict && removed > 0 {
 			log.Fatalf("%d baseline benchmark(s) were not run (-strict): update %s", removed, flag.Arg(0))
@@ -127,16 +131,18 @@ func loadEntries(path string) ([]Entry, error) {
 }
 
 // Compare checks the candidate entries against the baseline and
-// returns a human-readable report plus the number of ns/op regressions
-// beyond tolerance and the number of baseline benchmarks the candidate
-// did not run. Baseline entries below minNs are skipped (their
-// single-iteration timings are noise). Benchmarks present in only one
-// file are reported by name: removals usually mean the baseline
-// drifted after a rename (-strict makes main fail on them), additions
-// are new coverage the baseline does not track yet. Only a measured
-// slowdown of a benchmark present in both files counts as a
-// regression.
-func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []string, regressions, removed int) {
+// returns a human-readable report plus the number of regressions —
+// ns/op beyond tolerance, or bytes/op beyond bytesTol when both sides
+// report allocation bytes (bytesTol <= 0 disables that gate) — and the
+// number of baseline benchmarks the candidate did not run. Baseline
+// entries below minNs are skipped (their single-iteration timings are
+// noise; the bytes gate shares the filter because tiny benchmarks
+// allocate per-call noise too). Benchmarks present in only one file
+// are reported by name: removals usually mean the baseline drifted
+// after a rename (-strict makes main fail on them), additions are new
+// coverage the baseline does not track yet. Only a measured regression
+// of a benchmark present in both files counts.
+func Compare(baseline, candidate []Entry, tolerance, bytesTol, minNs float64) (report []string, regressions, removed int) {
 	cur := make(map[string]Entry, len(candidate))
 	for _, e := range candidate {
 		cur[e.Name] = e
@@ -164,6 +170,18 @@ func Compare(baseline, candidate []Entry, tolerance, minNs float64) (report []st
 		case ratio < 1-tolerance:
 			report = append(report, fmt.Sprintf("improved: %s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
 				old.Name, old.NsPerOp, now.NsPerOp, (ratio-1)*100))
+		}
+		if bytesTol > 0 && old.BytesPerOp > 0 && now.BytesPerOp > 0 {
+			bratio := now.BytesPerOp / old.BytesPerOp
+			switch {
+			case bratio > 1+bytesTol:
+				regressions++
+				report = append(report, fmt.Sprintf("REGRESSION: %s: %.0f B/op -> %.0f B/op (%+.1f%% > %.0f%%)",
+					old.Name, old.BytesPerOp, now.BytesPerOp, (bratio-1)*100, bytesTol*100))
+			case bratio < 1-bytesTol:
+				report = append(report, fmt.Sprintf("improved: %s: %.0f B/op -> %.0f B/op (%+.1f%%)",
+					old.Name, old.BytesPerOp, now.BytesPerOp, (bratio-1)*100))
+			}
 		}
 	}
 	added := 0

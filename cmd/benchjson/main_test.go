@@ -82,7 +82,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		entry("BenchmarkNoise", 1e9), // huge but skipped
 		entry("BenchmarkNew", 10e6),  // not in baseline: ignored
 	}
-	report, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
+	report, regressions, removed := Compare(baseline, candidate, 0.25, 0.35, 1e6)
 	if regressions != 1 {
 		t.Fatalf("got %d regressions, want 1\n%s", regressions, strings.Join(report, "\n"))
 	}
@@ -116,10 +116,46 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareCleanRun(t *testing.T) {
 	baseline := []Entry{entry("BenchmarkA", 10e6)}
 	candidate := []Entry{entry("BenchmarkA", 10.1e6)}
-	report, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
+	report, regressions, removed := Compare(baseline, candidate, 0.25, 0.35, 1e6)
 	if regressions != 0 || removed != 0 {
 		t.Errorf("clean run reported %d regressions, %d removed:\n%s",
 			regressions, removed, strings.Join(report, "\n"))
+	}
+}
+
+func entryB(name string, ns, bytes float64) Entry {
+	return Entry{Name: name, Iterations: 1, NsPerOp: ns, BytesPerOp: bytes}
+}
+
+// TestCompareFlagsBytesRegressions: the bytes/op gate fires on
+// allocation growth beyond its own tolerance, skips benchmarks without
+// -benchmem data, and can be disabled with bytesTol <= 0.
+func TestCompareFlagsBytesRegressions(t *testing.T) {
+	baseline := []Entry{
+		entryB("BenchmarkA", 10e6, 1e6),
+		entryB("BenchmarkB", 10e6, 1e6),
+		entry("BenchmarkNoBytes", 10e6),
+	}
+	candidate := []Entry{
+		entryB("BenchmarkA", 10e6, 2e6),   // +100% bytes: regression
+		entryB("BenchmarkB", 10e6, 1.2e6), // +20%: within tolerance
+		entry("BenchmarkNoBytes", 10e6),   // no bytes on either side: skipped
+	}
+	report, regressions, _ := Compare(baseline, candidate, 0.25, 0.35, 1e6)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1 (bytes/op on BenchmarkA)\n%s", regressions, strings.Join(report, "\n"))
+	}
+	saw := false
+	for _, line := range report {
+		if strings.Contains(line, "REGRESSION") && strings.Contains(line, "B/op") && strings.Contains(line, "BenchmarkA") {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("report missing the bytes/op regression line:\n%s", strings.Join(report, "\n"))
+	}
+	if _, regressions, _ = Compare(baseline, candidate, 0.25, 0, 1e6); regressions != 0 {
+		t.Errorf("bytesTol=0 still reported %d regressions", regressions)
 	}
 }
 
@@ -129,7 +165,7 @@ func TestCompareCleanRun(t *testing.T) {
 func TestCompareCountsRemovalsBelowMinNs(t *testing.T) {
 	baseline := []Entry{entry("BenchmarkTiny", 1000), entry("BenchmarkBig", 10e6)}
 	candidate := []Entry{entry("BenchmarkBig", 10e6)}
-	_, regressions, removed := Compare(baseline, candidate, 0.25, 1e6)
+	_, regressions, removed := Compare(baseline, candidate, 0.25, 0.35, 1e6)
 	if regressions != 0 || removed != 1 {
 		t.Errorf("got %d regressions, %d removed, want 0 and 1", regressions, removed)
 	}

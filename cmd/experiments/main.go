@@ -21,11 +21,17 @@
 //	experiments -size big -workers 8 -json sweep.json
 //	experiments -from sweep.json -baseline lb        # re-render, no solve
 //	experiments -size small -solvestats              # report LP solver work
+//	experiments -size big -cpuprofile cpu.out -memprofile mem.out
 //
 // -solvestats reports the sweep's aggregate solver activity on stderr:
 // bound evaluations and cache hits, LP solves split into warm starts
 // and cold starts, simplex iterations (with the dual-simplex cleanup
 // share), and cutting-plane rounds/cuts.
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep (the
+// heap profile is taken after the sweep completes), so solver hot
+// spots can be inspected on the full paper-scale workload rather than
+// only on the reduced benchmark grids.
 package main
 
 import (
@@ -34,6 +40,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -55,8 +63,42 @@ func main() {
 		csvOut     = flag.String("csv", "", "also write raw cells as CSV to this file")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		solveStats = flag.Bool("solvestats", false, "report aggregate LP-solver statistics (solves, iterations, warm starts, cache hits) after the sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var cells []exp.Cell
 	// label names the data's origin in the table headers; the persisted

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mcastd [-addr :8723] [-shards N] [-cache N]
+//	mcastd [-addr :8723] [-shards N] [-cache N] [-pprof 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -18,6 +18,10 @@
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests for up to -drain seconds.
+//
+// -pprof starts net/http/pprof on a separate listener (opt-in and
+// intended for a loopback or otherwise private address — the profile
+// endpoints expose internals and never belong on the serving port).
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -37,12 +42,29 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("mcastd: ")
 	var (
-		addr   = flag.String("addr", ":8723", "listen address")
-		shards = flag.Int("shards", 0, "evaluator shards (0 = GOMAXPROCS)")
-		cache  = flag.Int("cache", 0, "plan cache capacity in responses (0 = default, negative disables)")
-		drain  = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		addr      = flag.String("addr", ":8723", "listen address")
+		shards    = flag.Int("shards", 0, "evaluator shards (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 0, "plan cache capacity in responses (0 = default, negative disables)")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (empty disables; use a private address)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			ps := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := serve.New(serve.Config{Shards: *shards, CacheSize: *cache})
 	hs := &http.Server{

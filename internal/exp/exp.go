@@ -209,10 +209,23 @@ func Sweep(cfg Config) ([]TaskResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: one evaluator — and, when the caller
+			// did not supply heuristics, one registry bound to it — is
+			// reused for every task this worker runs. Reset() between
+			// tasks restores the fresh-evaluator semantics bit for bit
+			// (see steady.Evaluator.Reset) while keeping the LP
+			// workspace, flow solver and buffer allocations, so a sweep
+			// stops paying a full evaluator allocation per grid point.
+			ev := steady.NewEvaluator()
+			hs := heuristics
+			if hs == nil {
+				hs = heur.AllWith(ev)
+			}
 			for i := range todo {
 				t := tasks[i]
 				rng := rand.New(rand.NewSource(taskSeed(cfg.Seed, t.Platform, t.DensityIndex)))
-				results[i] = runTask(platforms[t.Platform], t, heuristics, rng)
+				ev.Reset()
+				results[i] = runTask(platforms[t.Platform], t, hs, rng, ev)
 				done <- i
 			}
 		}()
@@ -243,19 +256,19 @@ func Sweep(cfg Config) ([]TaskResult, error) {
 }
 
 // runTask draws the target set and computes every series' period for
-// one grid point on a per-task bound evaluator, so the three baselines
-// and every heuristic share LP work (cached bounds, pooled cuts, one
-// workspace). Failures are returned as values on the result.
-func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, rng *rand.Rand) TaskResult {
+// one grid point on the worker's (freshly Reset) bound evaluator, so
+// the three baselines and every heuristic share LP work — cached
+// bounds, pooled cuts, one workspace — and consecutive tasks share the
+// allocations. Failures are returned as values on the result. Stats
+// are reported as the delta over this task, so the per-task
+// attribution is unchanged by the worker-level reuse.
+func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, rng *rand.Rand, ev *steady.Evaluator) TaskResult {
 	res := TaskResult{Task: task}
-	ev := steady.NewEvaluator()
+	before := ev.Stats()
 	fail := func(err error) TaskResult {
-		res.Stats = ev.Stats()
+		res.Stats = ev.Stats().Delta(before)
 		res.Err = fmt.Errorf("exp: platform %d density %.2f: %w", task.Platform, task.Density, err)
 		return res
-	}
-	if heuristics == nil {
-		heuristics = heur.AllWith(ev)
 	}
 	targets := platform.RandomTargets(rng, task.Density)
 	res.Targets = len(targets)
@@ -294,7 +307,7 @@ func runTask(platform *tiers.Platform, task Task, heuristics []heur.Heuristic, r
 		}
 		res.Periods[h.Name] = hr.Period
 	}
-	res.Stats = ev.Stats()
+	res.Stats = ev.Stats().Delta(before)
 	return res
 }
 

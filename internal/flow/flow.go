@@ -20,81 +20,230 @@ import (
 // saturated.
 const eps = 1e-12
 
-// network is a residual arc representation of the active part of a
-// platform graph.
-type network struct {
-	n     int
-	head  [][]int // node -> arc indices
-	to    []graph.NodeID
-	cap   []float64
-	edge  []int // platform edge ID for forward arcs, -1 for residuals
-	level []int
-	iter  []int
+// Solver owns every scratch allocation of the Dinic max-flow runs: the
+// CSR residual network, the BFS levels and queue, and the cut marking.
+// Hot loops — the Multicast-LB separation calls one min-cut per target
+// per round, the heuristics recover one bounded flow per target per
+// trial — hold a Solver and stop paying a network build allocation per
+// call; the package-level MaxFlow/MinCut wrappers allocate a private
+// one, so their behaviour is unchanged. A Solver is not safe for
+// concurrent use.
+type Solver struct {
+	n       int
+	adjPtr  []int32 // node -> arc index range in adjArc
+	adjArc  []int32
+	to      []int32   // arc -> head node
+	cap     []float64 // arc -> residual capacity
+	edge    []int32   // arc -> platform edge ID for forward arcs, -1 for residuals
+	level   []int32
+	iter    []int32
+	queue   []int32
+	side    []bool
+	cut     []int
+	edgeBuf []int
 }
 
-func build(g *graph.Graph, capacity []float64) *network {
-	nw := &network{n: g.NumNodes()}
-	nw.head = make([][]int, nw.n)
-	for _, id := range g.ActiveEdges() {
-		c := capacity[id]
-		if c <= eps {
+// NewSolver returns an empty flow solver.
+func NewSolver() *Solver { return &Solver{} }
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// build compiles the active, positive-capacity part of g into the CSR
+// residual network. Arc 2k is the k-th admitted edge, arc 2k+1 its
+// residual, so the partner of arc a is always a^1.
+func (sv *Solver) build(g *graph.Graph, capacity []float64) {
+	n := g.NumNodes()
+	sv.n = n
+	sv.edgeBuf = g.AppendActiveEdges(sv.edgeBuf[:0])
+	sv.adjPtr = growI32(sv.adjPtr, n+1)
+	for i := 0; i <= n; i++ {
+		sv.adjPtr[i] = 0
+	}
+	arcs := 0
+	for _, id := range sv.edgeBuf {
+		if capacity[id] <= eps {
 			continue
 		}
 		e := g.Edge(id)
-		nw.addArc(e.From, e.To, c, id)
+		sv.adjPtr[e.From+1]++
+		sv.adjPtr[e.To+1]++
+		arcs += 2
 	}
-	return nw
+	for i := 0; i < n; i++ {
+		sv.adjPtr[i+1] += sv.adjPtr[i]
+	}
+	sv.adjArc = growI32(sv.adjArc, arcs)
+	sv.to = growI32(sv.to, arcs)
+	sv.cap = growF(sv.cap, arcs)
+	sv.edge = growI32(sv.edge, arcs)
+	sv.iter = growI32(sv.iter, n)
+	sv.level = growI32(sv.level, n)
+	sv.queue = growI32(sv.queue, n)
+	fill := sv.iter // borrow as the CSR fill cursor; reset before use below
+	for i := 0; i < n; i++ {
+		fill[i] = sv.adjPtr[i]
+	}
+	a := int32(0)
+	for _, id := range sv.edgeBuf {
+		if capacity[id] <= eps {
+			continue
+		}
+		e := g.Edge(id)
+		sv.to[a] = int32(e.To)
+		sv.cap[a] = capacity[id]
+		sv.edge[a] = int32(id)
+		sv.adjArc[fill[e.From]] = a
+		fill[e.From]++
+		sv.to[a+1] = int32(e.From)
+		sv.cap[a+1] = 0
+		sv.edge[a+1] = -1
+		sv.adjArc[fill[e.To]] = a + 1
+		fill[e.To]++
+		a += 2
+	}
 }
 
-func (nw *network) addArc(from, to graph.NodeID, c float64, edgeID int) {
-	nw.head[from] = append(nw.head[from], len(nw.to))
-	nw.to = append(nw.to, to)
-	nw.cap = append(nw.cap, c)
-	nw.edge = append(nw.edge, edgeID)
-	nw.head[to] = append(nw.head[to], len(nw.to))
-	nw.to = append(nw.to, from)
-	nw.cap = append(nw.cap, 0)
-	nw.edge = append(nw.edge, -1)
-}
-
-func (nw *network) bfs(s, t graph.NodeID) bool {
-	nw.level = make([]int, nw.n)
-	for i := range nw.level {
-		nw.level[i] = -1
+func (sv *Solver) bfs(s, t graph.NodeID) bool {
+	for i := 0; i < sv.n; i++ {
+		sv.level[i] = -1
 	}
-	queue := []graph.NodeID{s}
-	nw.level[s] = 0
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, a := range nw.head[v] {
-			if nw.cap[a] > eps && nw.level[nw.to[a]] < 0 {
-				nw.level[nw.to[a]] = nw.level[v] + 1
-				queue = append(queue, nw.to[a])
+	q := sv.queue[:0]
+	q = append(q, int32(s))
+	sv.level[s] = 0
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, a := range sv.adjArc[sv.adjPtr[v]:sv.adjPtr[v+1]] {
+			if w := sv.to[a]; sv.cap[a] > eps && sv.level[w] < 0 {
+				sv.level[w] = sv.level[v] + 1
+				q = append(q, w)
 			}
 		}
 	}
-	return nw.level[t] >= 0
+	return sv.level[t] >= 0
 }
 
-func (nw *network) dfs(v, t graph.NodeID, f float64) float64 {
+func (sv *Solver) dfs(v, t int32, f float64) float64 {
 	if v == t {
 		return f
 	}
-	for ; nw.iter[v] < len(nw.head[v]); nw.iter[v]++ {
-		a := nw.head[v][nw.iter[v]]
-		w := nw.to[a]
-		if nw.cap[a] <= eps || nw.level[w] != nw.level[v]+1 {
+	for ; sv.iter[v] < sv.adjPtr[v+1]-sv.adjPtr[v]; sv.iter[v]++ {
+		a := sv.adjArc[sv.adjPtr[v]+sv.iter[v]]
+		w := sv.to[a]
+		if sv.cap[a] <= eps || sv.level[w] != sv.level[v]+1 {
 			continue
 		}
-		d := nw.dfs(w, t, math.Min(f, nw.cap[a]))
+		d := sv.dfs(w, t, math.Min(f, sv.cap[a]))
 		if d > eps {
-			nw.cap[a] -= d
-			nw.cap[a^1] += d
+			sv.cap[a] -= d
+			sv.cap[a^1] += d
 			return d
 		}
 	}
 	return 0
+}
+
+// run executes the Dinic phases until limit is reached or no augmenting
+// path remains, returning the flow value.
+func (sv *Solver) run(s, t graph.NodeID, limit float64) float64 {
+	value := 0.0
+	for value < limit-eps && sv.bfs(s, t) {
+		for i := 0; i < sv.n; i++ {
+			sv.iter[i] = 0
+		}
+		for value < limit-eps {
+			d := sv.dfs(int32(s), int32(t), limit-value)
+			if d <= eps {
+				break
+			}
+			value += d
+		}
+	}
+	return value
+}
+
+// MaxFlowUpTo computes an s->t flow of value at most limit over the
+// active edges of g with per-edge capacities (indexed by edge ID). The
+// per-edge flow is written into perEdge when it is non-nil (it must
+// have length g.NumEdges(); it is zeroed first) and allocated
+// otherwise.
+func (sv *Solver) MaxFlowUpTo(g *graph.Graph, capacity []float64, s, t graph.NodeID, limit float64, perEdge []float64) (float64, []float64) {
+	if perEdge == nil {
+		perEdge = make([]float64, g.NumEdges())
+	} else {
+		for i := range perEdge {
+			perEdge[i] = 0
+		}
+	}
+	if s == t || limit <= 0 || !g.Active(s) || !g.Active(t) {
+		return 0, perEdge
+	}
+	sv.build(g, capacity)
+	value := sv.run(s, t, limit)
+	for a := 0; a < len(sv.to); a += 2 {
+		id := sv.edge[a]
+		if f := capacity[id] - sv.cap[a]; f > eps {
+			perEdge[id] += f
+		}
+	}
+	return value, perEdge
+}
+
+// MinCut computes a minimum s->t cut: the cut value and the IDs of the
+// active edges crossing from the source side to the sink side. The
+// returned slice is owned by the Solver and valid until its next call.
+func (sv *Solver) MinCut(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []int) {
+	value, side := sv.minCutSide(g, capacity, s, t)
+	sv.cut = sv.cut[:0]
+	for _, id := range sv.edgeBuf {
+		e := g.Edge(id)
+		if side[e.From] && !side[e.To] {
+			sv.cut = append(sv.cut, id)
+		}
+	}
+	return value, sv.cut
+}
+
+// minCutSide runs one max-flow and marks the residual-reachable source
+// side on the same network (the historical implementation re-built and
+// re-ran the whole flow just to recover the residual). The side mask is
+// Solver-owned.
+func (sv *Solver) minCutSide(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []bool) {
+	sv.build(g, capacity)
+	value := sv.run(s, t, math.Inf(1))
+	if cap(sv.side) < sv.n {
+		sv.side = make([]bool, sv.n)
+	}
+	sv.side = sv.side[:sv.n]
+	for i := range sv.side {
+		sv.side[i] = false
+	}
+	stack := sv.queue[:0]
+	stack = append(stack, int32(s))
+	sv.side[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range sv.adjArc[sv.adjPtr[v]:sv.adjPtr[v+1]] {
+			if w := sv.to[a]; sv.cap[a] > eps && !sv.side[w] {
+				sv.side[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return value, sv.side
 }
 
 // MaxFlow computes a maximum s->t flow over the active edges of g with
@@ -109,80 +258,25 @@ func MaxFlow(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []
 // the value never exceeds it. The paper's per-target variables x^i are
 // unit flows, recovered with limit = 1.
 func MaxFlowUpTo(g *graph.Graph, capacity []float64, s, t graph.NodeID, limit float64) (float64, []float64) {
-	perEdge := make([]float64, g.NumEdges())
-	if s == t || limit <= 0 || !g.Active(s) || !g.Active(t) {
-		return 0, perEdge
-	}
-	nw := build(g, capacity)
-	value := 0.0
-	for value < limit-eps && nw.bfs(s, t) {
-		nw.iter = make([]int, nw.n)
-		for value < limit-eps {
-			d := nw.dfs(s, t, limit-value)
-			if d <= eps {
-				break
-			}
-			value += d
-		}
-	}
-	for _, arcs := range nw.head {
-		for _, a := range arcs {
-			if nw.edge[a] >= 0 {
-				id := nw.edge[a]
-				f := capacity[id] - nw.cap[a]
-				if f > eps {
-					perEdge[id] += f
-				}
-			}
-		}
-	}
-	return value, perEdge
+	return NewSolver().MaxFlowUpTo(g, capacity, s, t, limit, nil)
 }
 
 // MinCut computes a minimum s->t cut. It returns the cut value, the
 // source side of the cut as a node mask, and the IDs of the active
 // edges crossing the cut (source side -> sink side).
 func MinCut(g *graph.Graph, capacity []float64, s, t graph.NodeID) (float64, []bool, []int) {
-	value, _ := MaxFlow(g, capacity, s, t)
-	// Residual reachability from s marks the source side. Rebuild and
-	// re-run: MaxFlow discards the residual network, so recompute it.
-	nw := build(g, capacity)
-	flowed := math.Inf(1)
-	for flowed > eps {
-		if !nw.bfs(s, t) {
-			break
-		}
-		nw.iter = make([]int, nw.n)
-		flowed = 0
-		for {
-			d := nw.dfs(s, t, math.Inf(1))
-			if d <= eps {
-				break
-			}
-			flowed += d
-		}
-	}
-	side := make([]bool, g.NumNodes())
-	stack := []graph.NodeID{s}
-	side[s] = true
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, a := range nw.head[v] {
-			if nw.cap[a] > eps && !side[nw.to[a]] {
-				side[nw.to[a]] = true
-				stack = append(stack, nw.to[a])
-			}
-		}
-	}
+	sv := NewSolver()
+	value, side := sv.minCutSide(g, capacity, s, t)
+	out := make([]bool, len(side))
+	copy(out, side)
 	var cut []int
-	for _, id := range g.ActiveEdges() {
+	for _, id := range sv.edgeBuf {
 		e := g.Edge(id)
 		if side[e.From] && !side[e.To] {
 			cut = append(cut, id)
 		}
 	}
-	return value, side, cut
+	return value, out, cut
 }
 
 // Decompose splits a flow f (per-edge values over the active part of g,

@@ -308,13 +308,32 @@ func (g *Graph) InEdges(v NodeID, dst []int) []int {
 
 // ActiveEdges returns the IDs of all active edges in increasing order.
 func (g *Graph) ActiveEdges() []int {
-	var ids []int
+	return g.AppendActiveEdges(nil)
+}
+
+// AppendActiveEdges appends the IDs of all active edges in increasing
+// order to dst and returns the extended slice — the buffer-reuse
+// counterpart of ActiveEdges for loops that would otherwise allocate a
+// fresh ID slice per call.
+func (g *Graph) AppendActiveEdges(dst []int) []int {
 	for id := range g.edges {
 		if g.EdgeActive(id) {
-			ids = append(ids, id)
+			dst = append(dst, id)
 		}
 	}
-	return ids
+	return dst
+}
+
+// AppendActiveNodes appends the IDs of all active nodes in increasing
+// order to dst and returns the extended slice — the buffer-reuse
+// counterpart of ActiveNodes.
+func (g *Graph) AppendActiveNodes(dst []NodeID) []NodeID {
+	for v := range g.names {
+		if !g.inactive[v] {
+			dst = append(dst, NodeID(v))
+		}
+	}
+	return dst
 }
 
 // FindEdge returns the cheapest active edge from -> to, if any.

@@ -216,7 +216,7 @@ func reducedBroadcast(ev *steady.Evaluator, p steady.Problem) (*Result, error) {
 	}
 	for improved := true; improved; {
 		improved = false
-		order := scoreCandidates(g, best, p, candidatesNotFixed(g, isFixed), false)
+		order := scoreCandidates(ev, g, best, p, candidatesNotFixed(g, isFixed), false)
 		for _, m := range order {
 			// Never disconnect the multicast targets: with an infinite
 			// incumbent (stray unreachable nodes) any removal would
@@ -276,7 +276,7 @@ func augmentedMulticast(ev *steady.Evaluator, p steady.Problem) (*Result, error)
 		inSet[t] = true
 		kept = append(kept, t)
 	}
-	order := scoreCandidates(full, lb, p, candidatesNotFixed(full, inSet), true)
+	order := scoreCandidates(ev, full, lb, p, candidatesNotFixed(full, inSet), true)
 
 	g := full.Clone()
 	g.Restrict(kept)
@@ -405,14 +405,16 @@ func candidatesNotFixed(g *graph.Graph, fixed map[graph.NodeID]bool) []graph.Nod
 
 // scoreCandidates orders candidate nodes by their per-target traffic
 // sum_{i in Ptarget} sum_{j in N^in(m)} x^{j,m}_i in the given bound's
-// solution, recovering the per-target flows from the load profile.
-// Ascending order when desc is false (REDUCED BROADCAST), descending
-// otherwise (AUGMENTED MULTICAST).
-func scoreCandidates(g *graph.Graph, b *steady.Bound, p steady.Problem, cands []graph.NodeID, desc bool) []graph.NodeID {
+// solution, recovering the per-target flows from the load profile
+// (through the evaluator's pooled flow solver, so repeated scoring
+// passes stop rebuilding a residual network per target). Ascending
+// order when desc is false (REDUCED BROADCAST), descending otherwise
+// (AUGMENTED MULTICAST).
+func scoreCandidates(ev *steady.Evaluator, g *graph.Graph, b *steady.Bound, p steady.Problem, cands []graph.NodeID, desc bool) []graph.NodeID {
 	if b.Infeasible() || len(cands) == 0 {
 		return cands
 	}
-	flows := steady.RecoverUnitFlows(g, b.EdgeLoad, p.Source, p.Targets)
+	flows := ev.RecoverUnitFlows(g, b.EdgeLoad, p.Source, p.Targets)
 	score := make(map[graph.NodeID]float64, len(cands))
 	for _, m := range cands {
 		score[m] = steady.InflowAt(g, flows, m)

@@ -15,13 +15,16 @@
 // # Solver engine
 //
 // The engine is a revised simplex over column-wise sparse storage (see
-// DESIGN.md Section 5): instead of carrying a dense m x total tableau,
-// it maintains only the m x m basis inverse, priced against the sparse
-// constraint columns. A Workspace owns every scratch allocation — the
-// basis inverse, iterate vectors and the compiled column store — and is
-// reusable across solves, so hot loops (cutting planes, column
-// generation, heuristic search) stop paying allocation and phase-1
-// costs on every re-solve:
+// DESIGN.md Section 5): the basis is held as a sparse LU factorisation
+// with Markowitz-style pivoting plus a product-form eta file, so
+// FTRAN/BTRAN are sparse triangular solves, a pivot appends one eta
+// column, and the factors are rebuilt only on eta-file overflow or
+// detected drift. Entering columns come from a partial-pricing
+// candidate list. A Workspace owns every scratch allocation — the LU
+// factors, the eta file, iterate vectors and the compiled column
+// store — and is reusable across solves, so hot loops (cutting planes,
+// column generation, heuristic search) stop paying allocation and
+// phase-1 costs on every re-solve:
 //
 //   - Solve() is the one-shot entry point (fresh workspace, cold start).
 //   - SolveWith(ws) reuses a workspace's allocations but still starts

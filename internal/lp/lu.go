@@ -1,0 +1,528 @@
+package lp
+
+// Sparse LU factorisation of the simplex basis, plus the product-form
+// eta file that represents the pivots performed since the last
+// (re)factorisation.
+//
+// The basis matrix B gathers one sparse column per basis slot:
+// structural columns from the compiled CSC store, logical columns as
+// implicit ±e_i. Factorisation is left-looking (Gilbert–Peierls): each
+// column is solved against the L computed so far through a sparse
+// triangular solve whose update order is driven by a min-heap over
+// elimination steps, and the pivot row is chosen Markowitz-style —
+// among the rows within luPivTol of the column's largest eligible
+// magnitude, the row with the fewest nonzeros in B wins (a static
+// fill-in estimate), ties broken by row index so factorisation is
+// deterministic. Columns are eliminated sparsest-first for the same
+// reason.
+//
+// Subsequent pivots do not touch L or U: each one appends an eta column
+// (the FTRAN image of the entering column and its pivot slot) to the
+// eta file, and FTRAN/BTRAN run through L, U and the etas. When the eta
+// file grows past needRefactor's length/fill thresholds — or when the
+// iteration loop detects drift of the incrementally updated basic
+// values — the basis is refactorised from scratch and the eta file
+// cleared.
+
+import "math"
+
+const (
+	// luPivTol is the threshold-pivoting tolerance: rows within this
+	// factor of the column's largest eligible magnitude are candidates,
+	// and the sparsest wins.
+	luPivTol = 0.1
+	// luSingTol is the pivot magnitude below which the basis matrix is
+	// declared singular.
+	luSingTol = 1e-11
+)
+
+// luFactor holds P·B·Q = L·U in sparse column form plus the eta file.
+// Row indices of L and U entries are *original* constraint rows; the
+// permutations live in rowOf/slotOf (elimination step -> pivot row /
+// eliminated basis slot). All storage is appended in place and reused
+// across factorisations.
+type luFactor struct {
+	m int
+
+	// L: unit lower triangular in elimination order; column j holds the
+	// multipliers of step j (rows pivoted later, original indices).
+	lPtr []int32
+	lRow []int32
+	lVal []float64
+
+	// U: column k holds the entries of the column eliminated at step k
+	// on rows pivoted at earlier steps; the diagonal is separate.
+	uPtr  []int32
+	uRow  []int32
+	uVal  []float64
+	uDiag []float64
+
+	rowOf  []int32 // elimination step -> original pivot row
+	rowInv []int32 // original row -> elimination step (-1 during factorisation)
+	slotOf []int32 // elimination step -> basis slot eliminated
+
+	// Row-wise transposes of L and U, rebuilt after each factorisation.
+	// They exist so that BTRAN can run in scatter form with zero
+	// skipping — the dot-product (column) form pays O(nnz) even for the
+	// near-unit inputs of loadRho and computeY, which dominate the
+	// solver's BTRAN traffic. Targets are pre-permuted: utCol holds the
+	// slot to update, ltRow the original row.
+	utPtr []int32 // per elimination step: U entries in that step's row
+	utCol []int32
+	utVal []float64
+	ltPtr []int32 // per elimination step: L entries in that step's row
+	ltRow []int32
+	ltVal []float64
+
+	// Eta file: one entry run per pivot since the factorisation, in
+	// basis-slot space. etaPtr[e]..etaPtr[e+1] are the off-pivot
+	// nonzeros of eta e.
+	etaPtr    []int32
+	etaPiv    []int32
+	etaPivVal []float64
+	etaRow    []int32
+	etaVal    []float64
+
+	luNNZ int // nnz(L) + nnz(U) + m at the last factorisation
+
+	// Factorisation scratch.
+	x      []float64
+	xMark  []bool
+	nzList []int32
+	heap   []int32
+	inHeap []bool
+	rowCnt []int32
+	order  []int32
+	bucket []int32
+}
+
+func (f *luFactor) etas() int   { return len(f.etaPiv) }
+func (f *luFactor) etaLen() int { return len(f.etaRow) }
+
+func (f *luFactor) clearEtas() {
+	f.etaPtr = f.etaPtr[:1]
+	f.etaPiv = f.etaPiv[:0]
+	f.etaPivVal = f.etaPivVal[:0]
+	f.etaRow = f.etaRow[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+// needRefactor reports whether the eta file has outgrown the factors:
+// either too many etas (solve cost grows linearly with the file) or too
+// much fill relative to the factorisation itself.
+func (f *luFactor) needRefactor() bool {
+	ne := f.etas()
+	if ne == 0 {
+		return false
+	}
+	limit := f.m
+	if limit > 128 {
+		limit = 128
+	}
+	if limit < 8 {
+		limit = 8
+	}
+	if ne >= limit {
+		return true
+	}
+	return f.etaLen() >= 4*(f.luNNZ+f.m)+1024
+}
+
+// factorize rebuilds L and U from the workspace's current basis and
+// clears the eta file. It returns false when the basis matrix is
+// numerically singular (the caller falls back to a cold start or the
+// perturbed rescue path).
+func (ws *Workspace) factorize() bool {
+	m := ws.m
+	f := &ws.lu
+	f.m = m
+
+	f.lPtr = growI32(f.lPtr, m+1)[:1]
+	f.lPtr[0] = 0
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uPtr = growI32(f.uPtr, m+1)[:1]
+	f.uPtr[0] = 0
+	f.uRow = f.uRow[:0]
+	f.uVal = f.uVal[:0]
+	f.uDiag = growF(f.uDiag, m)
+	f.rowOf = growI32(f.rowOf, m)
+	f.rowInv = growI32(f.rowInv, m)
+	f.slotOf = growI32(f.slotOf, m)
+	if len(f.etaPtr) == 0 {
+		f.etaPtr = append(f.etaPtr, 0)
+	}
+	f.clearEtas()
+
+	f.x = growF(f.x, m)
+	if cap(f.xMark) < m {
+		f.xMark = make([]bool, m)
+		f.inHeap = make([]bool, m)
+	}
+	f.xMark = f.xMark[:m]
+	f.inHeap = f.inHeap[:m]
+	f.nzList = growI32(f.nzList, m)[:0]
+	f.heap = growI32(f.heap, m)[:0]
+	f.rowCnt = growI32(f.rowCnt, m)
+	f.order = growI32(f.order, m)
+	f.bucket = growI32(f.bucket, m+2)
+
+	for i := 0; i < m; i++ {
+		f.x[i] = 0
+		f.xMark[i] = false
+		f.inHeap[i] = false
+		f.rowInv[i] = -1
+		f.rowCnt[i] = 0
+	}
+
+	// Static Markowitz surrogate: nonzero count per row of B.
+	colNNZ := func(slot int) int32 {
+		code := ws.basis[slot]
+		if code >= ws.n {
+			return 1
+		}
+		return ws.colPtr[code+1] - ws.colPtr[code]
+	}
+	for slot := 0; slot < m; slot++ {
+		code := ws.basis[slot]
+		if code >= ws.n {
+			f.rowCnt[ws.unitRow(code)]++
+			continue
+		}
+		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+			f.rowCnt[ws.colRow[e]]++
+		}
+	}
+
+	// Column order: sparsest column first (counting sort, stable in
+	// slot order so factorisation is deterministic).
+	for i := range f.bucket[:m+2] {
+		f.bucket[i] = 0
+	}
+	for slot := 0; slot < m; slot++ {
+		nz := colNNZ(slot)
+		if nz > int32(m) {
+			nz = int32(m)
+		}
+		f.bucket[nz+1]++
+	}
+	for i := 1; i < m+2; i++ {
+		f.bucket[i] += f.bucket[i-1]
+	}
+	for slot := 0; slot < m; slot++ {
+		nz := colNNZ(slot)
+		if nz > int32(m) {
+			nz = int32(m)
+		}
+		f.order[f.bucket[nz]] = int32(slot)
+		f.bucket[nz]++
+	}
+
+	for k := 0; k < m; k++ {
+		slot := int(f.order[k])
+		// Scatter the basis column of this slot into the sparse
+		// accumulator, seeding the elimination heap with the already
+		// pivoted rows it touches.
+		code := ws.basis[slot]
+		if code >= ws.n {
+			i := ws.unitRow(code)
+			f.x[i] = ws.unitSign(code)
+			f.xMark[i] = true
+			f.nzList = append(f.nzList, int32(i))
+			if j := f.rowInv[i]; j >= 0 {
+				f.heapPush(j)
+			}
+		} else {
+			for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+				i := ws.colRow[e]
+				f.x[i] = ws.colVal[e]
+				f.xMark[i] = true
+				f.nzList = append(f.nzList, i)
+				if j := f.rowInv[i]; j >= 0 {
+					f.heapPush(j)
+				}
+			}
+		}
+		// Sparse lower-triangular solve: eliminate through the existing
+		// L columns in ascending step order (a valid topological order,
+		// since L column j only touches rows pivoted after j).
+		for len(f.heap) > 0 {
+			j := f.heapPop()
+			v := f.x[f.rowOf[j]]
+			if v != 0 {
+				f.uRow = append(f.uRow, f.rowOf[j])
+				f.uVal = append(f.uVal, v)
+				for e := f.lPtr[j]; e < f.lPtr[j+1]; e++ {
+					i := f.lRow[e]
+					if !f.xMark[i] {
+						f.xMark[i] = true
+						f.nzList = append(f.nzList, i)
+						if jj := f.rowInv[i]; jj >= 0 {
+							f.heapPush(jj)
+						}
+					}
+					f.x[i] -= f.lVal[e] * v
+				}
+			}
+		}
+		// Markowitz-style pivot choice among the eligible rows.
+		amax := 0.0
+		for _, i32 := range f.nzList {
+			if f.rowInv[i32] >= 0 {
+				continue
+			}
+			if a := math.Abs(f.x[i32]); a > amax {
+				amax = a
+			}
+		}
+		if amax < luSingTol {
+			f.resetColumn()
+			return false
+		}
+		piv, pivCnt := int32(-1), int32(0)
+		for _, i32 := range f.nzList {
+			if f.rowInv[i32] >= 0 {
+				continue
+			}
+			if math.Abs(f.x[i32]) < luPivTol*amax {
+				continue
+			}
+			if piv < 0 || f.rowCnt[i32] < pivCnt || (f.rowCnt[i32] == pivCnt && i32 < piv) {
+				piv, pivCnt = i32, f.rowCnt[i32]
+			}
+		}
+		pv := f.x[piv]
+		f.uDiag[k] = pv
+		f.rowOf[k] = piv
+		f.rowInv[piv] = int32(k)
+		f.slotOf[k] = int32(slot)
+		for _, i32 := range f.nzList {
+			if i32 == piv || f.rowInv[i32] >= 0 {
+				continue
+			}
+			if f.x[i32] != 0 {
+				f.lRow = append(f.lRow, i32)
+				f.lVal = append(f.lVal, f.x[i32]/pv)
+			}
+		}
+		f.lPtr = append(f.lPtr, int32(len(f.lRow)))
+		f.uPtr = append(f.uPtr, int32(len(f.uRow)))
+		f.resetColumn()
+	}
+	f.luNNZ = len(f.lRow) + len(f.uRow) + m
+	f.buildTransposes()
+	return true
+}
+
+// buildTransposes fills the row-wise copies of U and L that btran's
+// scatter solves walk (counting sort per pivot row, O(nnz)).
+func (f *luFactor) buildTransposes() {
+	m := f.m
+	f.utPtr = growI32(f.utPtr, m+1)
+	f.ltPtr = growI32(f.ltPtr, m+1)
+	f.utCol = growI32(f.utCol, len(f.uRow))
+	f.utVal = growF(f.utVal, len(f.uVal))
+	f.ltRow = growI32(f.ltRow, len(f.lRow))
+	f.ltVal = growF(f.ltVal, len(f.lVal))
+	for i := 0; i <= m; i++ {
+		f.utPtr[i] = 0
+		f.ltPtr[i] = 0
+	}
+	// U column k holds entries on rows pivoted at earlier steps; bucket
+	// them by that step. The scatter target of an entry is the slot of
+	// the column it came from.
+	for k := 0; k < m; k++ {
+		for e := f.uPtr[k]; e < f.uPtr[k+1]; e++ {
+			f.utPtr[f.rowInv[f.uRow[e]]+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		f.utPtr[i+1] += f.utPtr[i]
+	}
+	fill := f.bucket[:m]
+	for i := 0; i < m; i++ {
+		fill[i] = f.utPtr[i]
+	}
+	for k := 0; k < m; k++ {
+		for e := f.uPtr[k]; e < f.uPtr[k+1]; e++ {
+			j := f.rowInv[f.uRow[e]]
+			f.utCol[fill[j]] = f.slotOf[k]
+			f.utVal[fill[j]] = f.uVal[e]
+			fill[j]++
+		}
+	}
+	// L column j holds entries on rows pivoted at later steps; bucket by
+	// that step. The scatter target is the pivot row of the column.
+	for j := 0; j < m; j++ {
+		for e := f.lPtr[j]; e < f.lPtr[j+1]; e++ {
+			f.ltPtr[f.rowInv[f.lRow[e]]+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		f.ltPtr[i+1] += f.ltPtr[i]
+	}
+	for i := 0; i < m; i++ {
+		fill[i] = f.ltPtr[i]
+	}
+	for j := 0; j < m; j++ {
+		for e := f.lPtr[j]; e < f.lPtr[j+1]; e++ {
+			k := f.rowInv[f.lRow[e]]
+			f.ltRow[fill[k]] = f.rowOf[j]
+			f.ltVal[fill[k]] = f.lVal[e]
+			fill[k]++
+		}
+	}
+}
+
+// resetColumn clears the sparse accumulator between eliminated columns.
+func (f *luFactor) resetColumn() {
+	for _, i := range f.nzList {
+		f.x[i] = 0
+		f.xMark[i] = false
+	}
+	f.nzList = f.nzList[:0]
+	for _, j := range f.heap {
+		f.inHeap[j] = false
+	}
+	f.heap = f.heap[:0]
+}
+
+// heapPush / heapPop maintain the min-heap of pending elimination
+// steps for the sparse triangular solve.
+func (f *luFactor) heapPush(j int32) {
+	if f.inHeap[j] {
+		return
+	}
+	f.inHeap[j] = true
+	f.heap = append(f.heap, j)
+	c := len(f.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if f.heap[p] <= f.heap[c] {
+			break
+		}
+		f.heap[p], f.heap[c] = f.heap[c], f.heap[p]
+		c = p
+	}
+}
+
+func (f *luFactor) heapPop() int32 {
+	top := f.heap[0]
+	f.inHeap[top] = false
+	last := len(f.heap) - 1
+	f.heap[0] = f.heap[last]
+	f.heap = f.heap[:last]
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && f.heap[c+1] < f.heap[c] {
+			c++
+		}
+		if f.heap[p] <= f.heap[c] {
+			break
+		}
+		f.heap[p], f.heap[c] = f.heap[c], f.heap[p]
+		p = c
+	}
+	return top
+}
+
+// lowerSolve solves L·z = a in place; a is a dense vector in original
+// row space.
+func (f *luFactor) lowerSolve(a []float64) {
+	for j := 0; j < f.m; j++ {
+		v := a[f.rowOf[j]]
+		if v == 0 {
+			continue
+		}
+		for e := f.lPtr[j]; e < f.lPtr[j+1]; e++ {
+			a[f.lRow[e]] -= f.lVal[e] * v
+		}
+	}
+}
+
+// upperSolve solves U·w = z, reading the row-space vector a left by
+// lowerSolve (destroyed) and writing the slot-space result into out
+// (every slot is overwritten).
+func (f *luFactor) upperSolve(a, out []float64) {
+	for k := f.m - 1; k >= 0; k-- {
+		v := a[f.rowOf[k]] / f.uDiag[k]
+		out[f.slotOf[k]] = v
+		if v == 0 {
+			continue
+		}
+		for e := f.uPtr[k]; e < f.uPtr[k+1]; e++ {
+			a[f.uRow[e]] -= f.uVal[e] * v
+		}
+	}
+}
+
+// applyEtas applies the eta file in pivot order to the slot-space FTRAN
+// result: for eta (r, w), out_r /= w_r and out_i -= w_i·out_r.
+func (f *luFactor) applyEtas(out []float64) {
+	for e := 0; e < len(f.etaPiv); e++ {
+		r := f.etaPiv[e]
+		p := out[r]
+		if p == 0 {
+			continue
+		}
+		p /= f.etaPivVal[e]
+		out[r] = p
+		for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+			out[f.etaRow[t]] -= f.etaVal[t] * p
+		}
+	}
+}
+
+// btran solves y·B = c: z is the slot-space input (destroyed), y
+// receives the row-space result. The eta file is applied in reverse,
+// then the transposed U and L solves run in scatter form over the
+// row-wise copies, skipping zero pivots — near-unit inputs (loadRho,
+// the mostly-zero basic costs of computeY) stay sparse all the way
+// through.
+func (f *luFactor) btran(z, y []float64) {
+	for e := len(f.etaPiv) - 1; e >= 0; e-- {
+		acc := 0.0
+		for t := f.etaPtr[e]; t < f.etaPtr[e+1]; t++ {
+			acc += z[f.etaRow[t]] * f.etaVal[t]
+		}
+		r := f.etaPiv[e]
+		z[r] = (z[r] - acc) / f.etaPivVal[e]
+	}
+	for k := 0; k < f.m; k++ {
+		v := z[f.slotOf[k]] / f.uDiag[k]
+		y[f.rowOf[k]] = v
+		if v == 0 {
+			continue
+		}
+		for e := f.utPtr[k]; e < f.utPtr[k+1]; e++ {
+			z[f.utCol[e]] -= f.utVal[e] * v
+		}
+	}
+	for j := f.m - 1; j >= 0; j-- {
+		v := y[f.rowOf[j]]
+		if v == 0 {
+			continue
+		}
+		for e := f.ltPtr[j]; e < f.ltPtr[j+1]; e++ {
+			y[f.ltRow[e]] -= f.ltVal[e] * v
+		}
+	}
+}
+
+// appendEta records one pivot: the FTRAN image w of the entering column
+// and the leaving slot.
+func (f *luFactor) appendEta(w []float64, leave int) {
+	for i, v := range w[:f.m] {
+		if v != 0 && i != leave {
+			f.etaRow = append(f.etaRow, int32(i))
+			f.etaVal = append(f.etaVal, v)
+		}
+	}
+	f.etaPiv = append(f.etaPiv, int32(leave))
+	f.etaPivVal = append(f.etaPivVal, w[leave])
+	f.etaPtr = append(f.etaPtr, int32(len(f.etaRow)))
+}

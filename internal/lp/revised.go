@@ -1,11 +1,14 @@
 package lp
 
 // The revised simplex engine. The constraint matrix is compiled once
-// per solve into column-wise sparse storage; iterations maintain only
-// the dense m x m basis inverse (column-major, so FTRAN and the pivot
-// update walk contiguous memory) plus the basic-value vector. Logical
-// columns — slack, surplus and artificial — are implicit unit columns
-// and never stored.
+// per solve into column-wise sparse storage; iterations maintain the
+// basis as a sparse LU factorisation plus a product-form eta file (see
+// lu.go) and the basic-value vector. FTRAN and BTRAN are sparse
+// triangular solves through L, U and the etas; pivots append one eta
+// column instead of updating an inverse, and the factors are rebuilt
+// from scratch only when the eta file outgrows them or the basic
+// values drift. Logical columns — slack, surplus and artificial — are
+// implicit unit columns and never stored.
 //
 // Column code space, for n structural variables and m rows:
 //
@@ -27,14 +30,19 @@ import (
 	"math"
 )
 
-// refactorRowCap bounds the problem size for which a stale warm-start
-// basis is refactorised from scratch (O(m^3)); beyond it SolveFrom
-// falls straight back to a cold solve.
-const refactorRowCap = 1500
-
 // blandEps is the widened zero tolerance used in Bland mode, so that
 // reduced costs oscillating within float noise do not re-enter.
 const blandEps = 1e-8
+
+// candCap bounds the partial-pricing candidate list: a pricing pass
+// stops scanning once it has collected this many improving columns
+// (or proved optimality by a full wrap).
+const candCap = 64
+
+// driftCheckEvery is the primal iteration interval of the basic-value
+// drift check (a residual ||B·x_B - b||_inf against the compiled
+// columns); a drifted iterate triggers a refactorisation.
+const driftCheckEvery = 96
 
 // WorkspaceStats accumulates solver activity over the lifetime of a
 // Workspace.
@@ -43,16 +51,17 @@ type WorkspaceStats struct {
 	ColdSolves       int // cold two-phase solves (including warm-start fallbacks)
 	WarmAttempts     int // SolveFrom calls that carried a basis
 	WarmHits         int // warm starts that completed on the warm path
-	Refactorizations int // basis inverses rebuilt from scratch
+	Factorizations   int // sparse LU factorisations built (every solve needs one)
+	Refactorizations int // mid-solve rebuilds: eta-file overflow or detected drift
 	Iterations       int // primal simplex pivots
 	DualIterations   int // dual simplex pivots
 }
 
 // Workspace owns every scratch allocation of the revised simplex — the
-// compiled sparse columns, the basis inverse and the iterate vectors —
-// so repeated solves reuse memory instead of reallocating per call,
-// and warm starts can reuse the previous basis inverse outright. A
-// Workspace must not be used from multiple goroutines concurrently.
+// compiled sparse columns, the LU factors with their eta file and the
+// iterate vectors — so repeated solves reuse memory instead of
+// reallocating per call. A Workspace must not be used from multiple
+// goroutines concurrently.
 type Workspace struct {
 	// Compiled model, standardised to min sense.
 	n, m   int
@@ -64,7 +73,7 @@ type Workspace struct {
 	sense  []Sense
 
 	// Factorisation and iterate state.
-	binv     []float64 // m x m basis inverse, column-major: binv[k*m+i] = (B^-1)[i][k]
+	lu       luFactor  // sparse basis factorisation + eta file
 	basis    []int     // column code per row
 	basisPos []int     // column code -> basis row, or -1
 	xb       []float64 // basic variable values
@@ -72,22 +81,24 @@ type Workspace struct {
 	y        []float64 // simplex multipliers c_B . B^-1
 	w        []float64 // FTRAN result B^-1 . A_enter
 	rho      []float64 // a row of B^-1 (dual simplex, eviction)
-	nzcb     []int32   // rows with nonzero basic cost
+	ftmp     []float64 // FTRAN right-hand-side scratch (row space)
+	btmp     []float64 // BTRAN input scratch (slot space)
+	artRow   []bool    // row's basic column is an artificial (ratio-test pinning)
+	nart     int       // number of basic artificials
+	luBad    bool      // a mid-solve refactorisation failed; bail out
+
+	// Partial pricing: the candidate list of improving columns and the
+	// rolling scan cursor, both reset at every solve.
+	cand        []int32
+	priceCursor int
 
 	// Compilation scratch.
 	stamp []int32
 	slot  []int32
-	tmp   []float64
-
-	// Warm-start bookkeeping: the model, row count and (encoded) basis
-	// the current binv corresponds to.
-	lastModel *Model
-	lastRows  int
-	lastBasis []int
-	haveBinv  bool
 
 	phase      int
 	improveEps float64
+	rhsScale   float64
 	rng        *xorshift
 	stats      WorkspaceStats
 }
@@ -101,18 +112,6 @@ func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-// growFKeep grows like growF but preserves the existing prefix, for
-// buffers whose old contents the caller still needs (the basis inverse
-// across a warm-start extension).
-func growFKeep(s []float64, n int) []float64 {
-	if cap(s) < n {
-		ns := make([]float64, n)
-		copy(ns, s)
-		return ns
 	}
 	return s[:n]
 }
@@ -152,6 +151,7 @@ func (ws *Workspace) compile(mdl *Model, perturb float64) {
 		ws.sense = make([]Sense, m)
 	}
 	ws.sense = ws.sense[:m]
+	ws.rhsScale = 0
 	for i := range mdl.rows {
 		r := mdl.rows[i].rhs
 		if perturb > 0 {
@@ -159,6 +159,9 @@ func (ws *Workspace) compile(mdl *Model, perturb float64) {
 		}
 		ws.rhs[i] = r
 		ws.sense[i] = mdl.rows[i].sense
+		if a := math.Abs(r); a > ws.rhsScale {
+			ws.rhsScale = a
+		}
 	}
 
 	// Count deduped entries, then fill the CSC arrays. stamp[v] holds
@@ -211,10 +214,9 @@ func (ws *Workspace) compile(mdl *Model, perturb float64) {
 }
 
 // ensureIterState sizes the factorisation and iterate arrays for the
-// compiled model.
+// compiled model and resets the per-solve pricing state.
 func (ws *Workspace) ensureIterState() {
 	n, m := ws.n, ws.m
-	ws.binv = growFKeep(ws.binv, m*m)
 	ws.basis = growI(ws.basis, m)
 	ws.basisPos = growI(ws.basisPos, n+2*m)
 	ws.xb = growF(ws.xb, m)
@@ -222,9 +224,22 @@ func (ws *Workspace) ensureIterState() {
 	ws.y = growF(ws.y, m)
 	ws.w = growF(ws.w, m)
 	ws.rho = growF(ws.rho, m)
+	ws.ftmp = growF(ws.ftmp, m)
+	ws.btmp = growF(ws.btmp, m)
+	if cap(ws.artRow) < m {
+		ws.artRow = make([]bool, m)
+	}
+	ws.artRow = ws.artRow[:m]
+	for i := range ws.artRow {
+		ws.artRow[i] = false
+	}
+	ws.nart = 0
 	for j := range ws.basisPos {
 		ws.basisPos[j] = -1
 	}
+	ws.cand = ws.cand[:0]
+	ws.priceCursor = 0
+	ws.luBad = false
 }
 
 // Column-code helpers.
@@ -292,24 +307,13 @@ func (ws *Workspace) objValue() float64 {
 	return v
 }
 
-// computeY prices the basis: y = c_B . B^-1.
+// computeY prices the basis: y = c_B . B^-1, one BTRAN through the eta
+// file and the transposed LU factors.
 func (ws *Workspace) computeY() {
 	m := ws.m
-	nz := ws.nzcb[:0]
-	for i := 0; i < m; i++ {
-		if ws.cb[i] != 0 {
-			nz = append(nz, int32(i))
-		}
-	}
-	ws.nzcb = nz
-	for k := 0; k < m; k++ {
-		col := ws.binv[k*m : (k+1)*m]
-		acc := 0.0
-		for _, i := range nz {
-			acc += ws.cb[i] * col[i]
-		}
-		ws.y[k] = acc
-	}
+	z := ws.btmp[:m]
+	copy(z, ws.cb[:m])
+	ws.lu.btran(z, ws.y[:m])
 }
 
 // reducedCost returns d_j = c_j - y.A_j for the current phase; callers
@@ -325,37 +329,35 @@ func (ws *Workspace) reducedCost(code int) float64 {
 	return ws.costOf(code) - ws.unitSign(code)*ws.y[ws.unitRow(code)]
 }
 
-// ftran computes w = B^-1 . A_code.
+// ftran computes w = B^-1 . A_code: scatter the sparse column, solve
+// through L and U, then apply the eta file.
 func (ws *Workspace) ftran(code int) {
 	m := ws.m
-	w := ws.w[:m]
+	a := ws.ftmp[:m]
+	for i := range a {
+		a[i] = 0
+	}
 	if code >= ws.n {
-		i := ws.unitRow(code)
-		s := ws.unitSign(code)
-		col := ws.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			w[k] = s * col[k]
-		}
-		return
-	}
-	for k := range w {
-		w[k] = 0
-	}
-	for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
-		v := ws.colVal[e]
-		col := ws.binv[int(ws.colRow[e])*m : (int(ws.colRow[e])+1)*m]
-		for i := 0; i < m; i++ {
-			w[i] += v * col[i]
+		a[ws.unitRow(code)] = ws.unitSign(code)
+	} else {
+		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+			a[ws.colRow[e]] = ws.colVal[e]
 		}
 	}
+	ws.lu.lowerSolve(a)
+	ws.lu.upperSolve(a, ws.w[:m])
+	ws.lu.applyEtas(ws.w[:m])
 }
 
-// loadRho extracts row r of B^-1 into ws.rho.
+// loadRho extracts row r of B^-1 into ws.rho (a BTRAN of e_r).
 func (ws *Workspace) loadRho(r int) {
 	m := ws.m
-	for k := 0; k < m; k++ {
-		ws.rho[k] = ws.binv[k*m+r]
+	z := ws.btmp[:m]
+	for i := range z {
+		z[i] = 0
 	}
+	z[r] = 1
+	ws.lu.btran(z, ws.rho[:m])
 }
 
 // rhoDot returns rho . A_code.
@@ -371,8 +373,8 @@ func (ws *Workspace) rhoDot(code int) float64 {
 }
 
 // pivot brings column enter (with its FTRAN image already in ws.w) into
-// the basis at row leave, updating B^-1, the basic values and the
-// bookkeeping.
+// the basis at row leave: update the basic values, append the pivot to
+// the eta file and refactorise if the file has outgrown the factors.
 func (ws *Workspace) pivot(leave, enter int) {
 	m := ws.m
 	w := ws.w[:m]
@@ -390,21 +392,80 @@ func (ws *Workspace) pivot(leave, enter int) {
 		}
 	}
 	ws.xb[leave] = theta
-	for k := 0; k < m; k++ {
-		col := ws.binv[k*m : (k+1)*m]
-		cr := col[leave] * inv
-		if cr == 0 {
-			continue
-		}
-		for i := 0; i < m; i++ {
-			col[i] -= w[i] * cr
-		}
-		col[leave] = cr
-	}
+	ws.lu.appendEta(w, leave)
 	ws.basisPos[ws.basis[leave]] = -1
 	ws.basis[leave] = enter
 	ws.basisPos[enter] = leave
 	ws.cb[leave] = ws.costOf(enter)
+	if ws.artRow[leave] {
+		// Entering columns are never artificial (canEnter), so a pivot
+		// can only shrink the artificial set.
+		ws.artRow[leave] = false
+		ws.nart--
+	}
+	if ws.lu.needRefactor() {
+		ws.refactorInPlace()
+	}
+}
+
+// refactorInPlace rebuilds the LU factors from the current basis and
+// recomputes the basic values from the right-hand side, bounding the
+// drift the eta-file updates accumulate. A numerically singular
+// rebuild (possible only after severe round-off) marks the workspace;
+// the iteration loops bail out to their cold or perturbed fallbacks.
+func (ws *Workspace) refactorInPlace() {
+	if !ws.factorize() {
+		ws.luBad = true
+		return
+	}
+	ws.stats.Factorizations++
+	ws.stats.Refactorizations++
+	ws.recomputeXB()
+}
+
+// recomputeXB refreshes xb = B^-1 b through the fresh factors,
+// clamping sub-Eps negativity noise exactly like the pivot updates do.
+func (ws *Workspace) recomputeXB() {
+	m := ws.m
+	a := ws.ftmp[:m]
+	copy(a, ws.rhs[:m])
+	ws.lu.lowerSolve(a)
+	ws.lu.upperSolve(a, ws.xb[:m])
+	for i := 0; i < m; i++ {
+		if ws.xb[i] < 0 && ws.xb[i] > -Eps {
+			ws.xb[i] = 0
+		}
+	}
+}
+
+// driftedXB reports whether the incrementally updated basic values
+// have drifted from B^-1 b: it computes the residual ||B·x_B - b||_inf
+// against the compiled columns (O(m + nnz), no solve needed).
+func (ws *Workspace) driftedXB() bool {
+	m := ws.m
+	a := ws.ftmp[:m]
+	copy(a, ws.rhs[:m])
+	for pos := 0; pos < m; pos++ {
+		v := ws.xb[pos]
+		if v == 0 {
+			continue
+		}
+		code := ws.basis[pos]
+		if code >= ws.n {
+			a[ws.unitRow(code)] -= ws.unitSign(code) * v
+			continue
+		}
+		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
+			a[ws.colRow[e]] -= ws.colVal[e] * v
+		}
+	}
+	tol := 0.5 * feasTol * (1 + ws.rhsScale)
+	for _, v := range a {
+		if v > tol || v < -tol {
+			return true
+		}
+	}
+	return false
 }
 
 type iterStatus int
@@ -423,8 +484,18 @@ const (
 	pricingBland
 )
 
-// chooseEntering scans the non-basic enterable columns under the given
-// pricing rule; y must be fresh. Returns -1 when no column prices in.
+// chooseEntering picks the entering column under the given pricing
+// rule; y must be fresh. Returns -1 when no column prices in.
+//
+// The default (Dantzig) rule runs partial pricing with a candidate
+// list: first the surviving candidates of the previous pass are
+// re-priced and the most negative wins; when the list runs dry, a
+// circular scan from a rolling cursor refills it with up to candCap
+// improving columns (continuing all the way around when none appear,
+// so returning -1 still proves optimality). Cold solves therefore stop
+// paying a full column scan per pivot. The random and Bland
+// anti-cycling modes keep their full scans — their termination
+// guarantees depend on seeing every column.
 func (ws *Workspace) chooseEntering(mode pricingMode) int {
 	total := ws.n + 2*ws.m
 	switch mode {
@@ -455,14 +526,47 @@ func (ws *Workspace) chooseEntering(mode pricingMode) int {
 		return pick
 	default:
 		best, bestVal := -1, -Eps
-		for j := 0; j < total; j++ {
-			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
-				continue
+		if len(ws.cand) > 0 {
+			keep := ws.cand[:0]
+			for _, j32 := range ws.cand {
+				j := int(j32)
+				if ws.basisPos[j] >= 0 {
+					continue
+				}
+				if v := ws.reducedCost(j); v < -Eps {
+					keep = append(keep, j32)
+					if v < bestVal {
+						best, bestVal = j, v
+					}
+				}
 			}
-			if v := ws.reducedCost(j); v < bestVal {
-				best, bestVal = j, v
+			ws.cand = keep
+			if best >= 0 {
+				return best
 			}
 		}
+		j := ws.priceCursor
+		if j >= total {
+			j = 0
+		}
+		for scanned := 0; scanned < total; scanned++ {
+			if ws.basisPos[j] < 0 && ws.canEnter(j) {
+				if v := ws.reducedCost(j); v < -Eps {
+					ws.cand = append(ws.cand, int32(j))
+					if v < bestVal {
+						best, bestVal = j, v
+					}
+				}
+			}
+			j++
+			if j == total {
+				j = 0
+			}
+			if len(ws.cand) >= candCap {
+				break
+			}
+		}
+		ws.priceCursor = j
 		return best
 	}
 }
@@ -472,15 +576,30 @@ func (ws *Workspace) chooseEntering(mode pricingMode) int {
 // largest pivot element (numerical stability). In Bland mode the
 // tie-break switches to the smallest basis column code, which
 // guarantees termination under degeneracy.
+//
+// Rows whose basic variable is an artificial sitting at zero are
+// pinned: the artificial must never move off zero again, so *any*
+// nonzero pivot element — either sign — forces it out at ratio ~0.
+// This is the lazy eviction of the phase-1 artificials: instead of an
+// explicit O(rows · columns) eviction sweep after phase 1, an
+// artificial leaves the basis the first time a pivot touches its row,
+// and rows the optimisation never touches keep theirs, harmlessly
+// basic at zero (the redundant-constraint case). Such pivots are
+// degenerate but cannot cycle — an artificial never re-enters.
 func (ws *Workspace) chooseLeaving(bland bool) int {
 	m := ws.m
 	w := ws.w[:m]
+	pinned := ws.nart > 0
 	bestRatio := math.Inf(1)
 	for i := 0; i < m; i++ {
-		if w[i] <= Eps {
+		wi := w[i]
+		if pinned {
+			wi = ws.leaveCoef(i, wi)
+		}
+		if wi <= Eps {
 			continue
 		}
-		if ratio := ws.xb[i] / w[i]; ratio < bestRatio {
+		if ratio := ws.xb[i] / wi; ratio < bestRatio {
 			bestRatio = ratio
 		}
 	}
@@ -491,21 +610,58 @@ func (ws *Workspace) chooseLeaving(bland bool) int {
 	best := -1
 	bestCoef := 0.0
 	for i := 0; i < m; i++ {
-		if w[i] <= Eps {
+		wi := w[i]
+		if pinned {
+			wi = ws.leaveCoef(i, wi)
+		}
+		if wi <= Eps {
 			continue
 		}
-		if ws.xb[i]/w[i] > bestRatio+tol {
+		if ws.xb[i]/wi > bestRatio+tol {
 			continue
 		}
 		if bland {
 			if best < 0 || ws.basis[i] < ws.basis[best] {
 				best = i
 			}
-		} else if w[i] > bestCoef {
-			best, bestCoef = i, w[i]
+		} else if wi > bestCoef {
+			best, bestCoef = i, wi
 		}
 	}
 	return best
+}
+
+// leaveCoef returns the effective ratio-test coefficient of row i: the
+// FTRAN value itself, except that a basic artificial at (or within the
+// phase-1 residual tolerance of) zero is pinned and blocks movement in
+// either direction. The threshold is feasTol, not Eps: phase 1 stops
+// at an artificial *sum* below feasTol, so an individual artificial
+// may carry up to that much residual — pinning only exact zeros would
+// let a phase-2 pivot with a negative coefficient regrow such a
+// residual arbitrarily and report a constraint-violating optimum. The
+// artRow bitmap is maintained by the basis bookkeeping so the common
+// no-artificials case never pays the per-row classification.
+func (ws *Workspace) leaveCoef(i int, wi float64) float64 {
+	if wi < 0 && ws.artRow[i] && ws.xb[i] <= feasTol {
+		return -wi
+	}
+	return wi
+}
+
+// artificialsClean reports whether every basic artificial still sits
+// within the feasibility tolerance. A violated artificial at an
+// "optimal" basis means the solve silently relaxed its row — callers
+// must treat the solve as failed rather than extract the solution.
+func (ws *Workspace) artificialsClean() bool {
+	if ws.nart == 0 {
+		return true
+	}
+	for i := 0; i < ws.m; i++ {
+		if ws.artRow[i] && ws.xb[i] > feasTol {
+			return false
+		}
+	}
+	return true
 }
 
 // primal runs simplex pivots until optimality, unboundedness, the
@@ -514,10 +670,13 @@ func (ws *Workspace) chooseLeaving(bland bool) int {
 // threshold so a feasible-at-start program exits immediately instead of
 // pivoting around a degenerate optimum).
 //
-// Pricing starts with Dantzig's rule; under prolonged degeneracy it
-// falls back to a seeded random-edge rule (which escapes cycles with
-// probability one and is far faster than Bland in practice), and
-// finally to Bland's rule with a widened zero tolerance.
+// Pricing starts with the partial-pricing Dantzig rule; under
+// prolonged degeneracy it falls back to a seeded random-edge rule
+// (which escapes cycles with probability one and is far faster than
+// Bland in practice), and finally to Bland's rule with a widened zero
+// tolerance. Every driftCheckEvery iterations the basic values are
+// checked against B^-1 b and a drifted iterate forces an early
+// refactorisation.
 func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
 	m := ws.m
 	total := ws.n + 2*m
@@ -529,16 +688,26 @@ func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
 	}
 	stall := 0
 	mode := pricingDantzig
-	lastObj := ws.objValue()
+	obj := ws.objValue()
+	lastObj := obj
 	stallLimit := 8*(m+total) + 500
 	for iter := 0; iter < maxIter; iter++ {
-		if ws.objValue() <= stopBelow {
+		if ws.luBad {
+			return iter, statusIterLimit
+		}
+		if obj <= stopBelow {
 			return iter, statusOptimal
 		}
 		if stall > stallLimit {
 			// Hopeless degenerate plateau: bail out so the caller can
 			// retry with a perturbed right-hand side.
 			return iter, statusIterLimit
+		}
+		if iter%driftCheckEvery == driftCheckEvery-1 && ws.lu.etas() > 0 && ws.driftedXB() {
+			ws.refactorInPlace()
+			if ws.luBad {
+				return iter, statusIterLimit
+			}
 		}
 		ws.computeY()
 		enter := ws.chooseEntering(mode)
@@ -550,12 +719,16 @@ func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
 		if leave < 0 {
 			return iter, statusUnbounded
 		}
+		leavingArt := ws.artRow[leave]
 		ws.pivot(leave, enter)
-		if obj := ws.objValue(); obj < lastObj-ws.improveEps {
+		if obj = ws.objValue(); obj < lastObj-ws.improveEps {
 			lastObj = obj
 			stall = 0
 			mode = pricingDantzig
-		} else {
+		} else if !leavingArt {
+			// Degenerate pivots that evict an artificial are structural
+			// progress (each one happens at most once per artificial), so
+			// they never count towards the anti-cycling ladder.
 			stall++
 			switch {
 			case stall > 4*(m+50):
@@ -577,6 +750,9 @@ func (ws *Workspace) dualSimplex() (int, bool) {
 	total := ws.n + 2*m
 	maxIter := 50*(m+total) + 1000
 	for iter := 0; iter < maxIter; iter++ {
+		if ws.luBad {
+			return iter, false
+		}
 		// Leaving: the most negative basic value.
 		r, worst := -1, -feasTol
 		for i := 0; i < m; i++ {
@@ -621,35 +797,6 @@ func (ws *Workspace) dualSimplex() (int, bool) {
 		ws.pivot(r, best)
 	}
 	return maxIter, false
-}
-
-// evictArtificials pivots basic artificial variables (value ~0 after a
-// successful phase 1) out of the basis where possible; rows whose
-// artificials cannot leave are redundant and keep them, harmlessly
-// basic at zero and banned from ever re-entering.
-func (ws *Workspace) evictArtificials() {
-	total := ws.n + 2*ws.m
-	for i := 0; i < ws.m; i++ {
-		if !ws.isArtificial(ws.basis[i]) {
-			continue
-		}
-		ws.loadRho(i)
-		pivotCol := -1
-		for j := 0; j < total; j++ {
-			if ws.basisPos[j] >= 0 || !ws.canEnter(j) {
-				continue
-			}
-			if math.Abs(ws.rhoDot(j)) > 1e-7 {
-				pivotCol = j
-				break
-			}
-		}
-		if pivotCol < 0 {
-			continue // redundant constraint
-		}
-		ws.ftran(pivotCol)
-		ws.pivot(i, pivotCol)
-	}
 }
 
 // extract fills the primal values, objective and duals of an optimal
@@ -706,24 +853,11 @@ func (ws *Workspace) exportBasis() Basis {
 	return Basis{cols: cols}
 }
 
-// noteBasis records the optimal basis the current binv corresponds to,
-// enabling the cheap warm-start extension on the next SolveFrom.
-func (ws *Workspace) noteBasis(mdl *Model) {
-	ws.lastModel = mdl
-	ws.lastRows = ws.m
-	ws.lastBasis = growI(ws.lastBasis, ws.m)
-	for i, code := range ws.basis[:ws.m] {
-		ws.lastBasis[i] = encodeBasisCol(code, ws.n)
-	}
-	ws.haveBinv = true
-}
-
 // solveCold runs the classic two-phase solve from the diagonal unit
 // basis.
 func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 	ws.stats.Solves++
 	ws.stats.ColdSolves++
-	ws.haveBinv = false
 	ws.compile(mdl, perturb)
 	n, m := ws.n, ws.m
 	ws.ensureIterState()
@@ -736,23 +870,32 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 		ws.improveEps = 0
 	}
 
-	for i := range ws.binv[:m*m] {
-		ws.binv[i] = 0
-	}
 	nart := 0
 	for i := 0; i < m; i++ {
+		// Per row, the unit column that is feasible for the sign of the
+		// right-hand side; on a tie (rhs = 0) prefer whichever is the
+		// row's slack, so zero-rhs inequalities — the cut rows of the
+		// steady-state masters — start basic on their slack instead of
+		// an artificial that phase 2 would have to evict again.
 		code := n + 2*i
-		if ws.rhs[i] < 0 {
+		if ws.rhs[i] < 0 || (ws.rhs[i] == 0 && ws.sense[i] == GE) {
 			code++
 		}
 		ws.basis[i] = code
 		ws.basisPos[code] = i
-		ws.binv[i*m+i] = ws.unitSign(code)
 		ws.xb[i] = math.Abs(ws.rhs[i])
 		if ws.isArtificial(code) {
 			nart++
+			ws.artRow[i] = true
 		}
 	}
+	ws.nart = nart
+	// The initial basis is a ±1 diagonal; its factorisation is trivial
+	// but runs through the same code path as every later one.
+	if !ws.factorize() {
+		return nil, errors.New("lp: internal: singular initial basis")
+	}
+	ws.stats.Factorizations++
 
 	sol := &Solution{X: make([]float64, n), Dual: make([]float64, m)}
 
@@ -784,7 +927,10 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 			sol.Status = Infeasible
 			return sol, nil
 		}
-		ws.evictArtificials()
+		// Artificials left basic at ~zero are *not* swept out here: the
+		// ratio test pins them (see chooseLeaving), so phase 2 evicts
+		// lazily — only the rows the optimisation actually touches pay a
+		// pivot, instead of one BTRAN + column scan per artificial row.
 	}
 
 	// Phase 2: minimise the true objective; artificials are banned.
@@ -799,8 +945,14 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 		sol.Status = Unbounded
 		return sol, nil
 	}
+	if !ws.artificialsClean() {
+		// A lazily kept artificial regrew past the feasibility tolerance
+		// (severe degeneracy interacting with the pinned ratio test):
+		// the basis no longer represents the true program, so fail into
+		// the perturbed retry instead of extracting a relaxed optimum.
+		return nil, fmt.Errorf("%w (artificial regrew, m=%d n=%d)", ErrIterationLimit, m, n)
+	}
 	ws.extract(mdl, sol)
-	ws.noteBasis(mdl)
 	sol.Basis = ws.exportBasis()
 	return sol, nil
 }
@@ -821,11 +973,6 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 			return nil, false, nil
 		}
 	}
-	// The basis inverse survives from the previous solve when the model
-	// object and the basis prefix are unchanged; otherwise it must be
-	// refactorised from scratch below.
-	reuse := ws.haveBinv && ws.lastModel == mdl && ws.lastRows == k &&
-		intsEqual(basis.cols, ws.lastBasis[:ws.lastRows])
 
 	ws.compile(mdl, 0)
 	n, m := ws.n, ws.m
@@ -846,6 +993,10 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 		}
 		ws.basis[i] = code
 		ws.basisPos[code] = i
+		if ws.isArtificial(code) {
+			ws.artRow[i] = true
+			ws.nart++
+		}
 	}
 	for i := k; i < m; i++ {
 		code := n + 2*i // +e_i relaxes <=
@@ -856,40 +1007,21 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 		ws.basisPos[code] = i
 	}
 
-	if reuse {
-		ws.extendBinv(k)
-	} else {
-		if m > refactorRowCap {
-			return nil, false, nil
-		}
-		if !ws.refactor() {
-			return nil, false, nil
-		}
-		ws.stats.Refactorizations++
+	// The sparse factorisation is cheap enough to rebuild on every warm
+	// start — there is no dense O(m^3) rebuild to dodge any more, so no
+	// row cap and no block-extension special case. A singular basis
+	// matrix simply falls back to the cold path.
+	if !ws.factorize() {
+		return nil, false, nil
 	}
+	ws.stats.Factorizations++
 
-	// xb = B^-1 b, exploiting the (typically very) sparse rhs.
-	for i := 0; i < m; i++ {
-		ws.xb[i] = 0
-	}
-	for kk := 0; kk < m; kk++ {
-		b := ws.rhs[kk]
-		if b == 0 {
-			continue
-		}
-		col := ws.binv[kk*m : (kk+1)*m]
-		for i := 0; i < m; i++ {
-			ws.xb[i] += b * col[i]
-		}
-	}
+	ws.recomputeXB()
 	primalInfeas := false
 	for i := 0; i < m; i++ {
-		if ws.xb[i] < 0 {
-			if ws.xb[i] > -Eps {
-				ws.xb[i] = 0
-			} else if ws.xb[i] < -feasTol {
-				primalInfeas = true
-			}
+		if ws.xb[i] < -feasTol {
+			primalInfeas = true
+			break
 		}
 	}
 
@@ -927,148 +1059,12 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 	iters, status := ws.primal(math.Inf(-1))
 	sol.Iterations += iters
 	ws.stats.Iterations += iters
-	if status != statusOptimal {
-		// Unbounded or stalled on the warm path: re-derive the verdict
-		// from a trustworthy cold start.
+	if status != statusOptimal || !ws.artificialsClean() {
+		// Unbounded, stalled, or a regrown artificial on the warm path:
+		// re-derive the verdict from a trustworthy cold start.
 		return nil, false, nil
 	}
 	ws.extract(mdl, sol)
-	ws.noteBasis(mdl)
 	sol.Basis = ws.exportBasis()
 	return sol, true, nil
-}
-
-func intsEqual(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// extendBinv grows the k x k basis inverse of the previous solve to the
-// current m rows, given that rows k..m-1 entered the basis on their own
-// unit columns: with B' = [[B, 0], [C, D]] and D diagonal,
-// B'^-1 = [[B^-1, 0], [-D^-1 C B^-1, D^-1]].
-func (ws *Workspace) extendBinv(k int) {
-	m := ws.m
-	if k == m {
-		return // same shape; binv is already current
-	}
-	old := growF(ws.tmp, k*k)
-	copy(old, ws.binv[:k*k])
-	ws.tmp = old
-	for i := range ws.binv[:m*m] {
-		ws.binv[i] = 0
-	}
-	for kk := 0; kk < k; kk++ {
-		copy(ws.binv[kk*m:kk*m+k], old[kk*k:(kk+1)*k])
-	}
-	// Gather, per appended row, its coefficients on the old basic
-	// columns (only structural columns can touch foreign rows).
-	rowCoef := ws.w[:m] // scratch; ftran is not in flight here
-	for i := k; i < m; i++ {
-		s := ws.unitSign(ws.basis[i])
-		for pos := 0; pos < k; pos++ {
-			rowCoef[pos] = 0
-			code := ws.basis[pos]
-			if code >= ws.n {
-				continue
-			}
-			for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
-				if int(ws.colRow[e]) == i {
-					rowCoef[pos] = ws.colVal[e]
-					break
-				}
-			}
-		}
-		for kk := 0; kk < k; kk++ {
-			acc := 0.0
-			col := old[kk*k : (kk+1)*k]
-			for pos := 0; pos < k; pos++ {
-				if c := rowCoef[pos]; c != 0 {
-					acc += c * col[pos]
-				}
-			}
-			if acc != 0 {
-				ws.binv[kk*m+i] = -s * acc
-			}
-		}
-		ws.binv[i*m+i] = s
-	}
-}
-
-// refactor rebuilds the basis inverse from the basis columns by
-// Gauss-Jordan elimination with partial pivoting. Returns false when
-// the basis matrix is singular.
-func (ws *Workspace) refactor() bool {
-	m := ws.m
-	a := growF(ws.tmp, 2*m*m)
-	ws.tmp = a
-	B := a[:m*m] // row-major working copy of the basis matrix
-	R := a[m*m:] // row-major inverse under construction
-	for i := range B {
-		B[i] = 0
-		R[i] = 0
-	}
-	for pos := 0; pos < m; pos++ {
-		code := ws.basis[pos]
-		if code >= ws.n {
-			B[ws.unitRow(code)*m+pos] = ws.unitSign(code)
-			continue
-		}
-		for e := ws.colPtr[code]; e < ws.colPtr[code+1]; e++ {
-			B[int(ws.colRow[e])*m+pos] = ws.colVal[e]
-		}
-	}
-	for i := 0; i < m; i++ {
-		R[i*m+i] = 1
-	}
-	for c := 0; c < m; c++ {
-		p := -1
-		for r := c; r < m; r++ {
-			if p < 0 || math.Abs(B[r*m+c]) > math.Abs(B[p*m+c]) {
-				p = r
-			}
-		}
-		if p < 0 || math.Abs(B[p*m+c]) < 1e-10 {
-			return false
-		}
-		if p != c {
-			for j := 0; j < m; j++ {
-				B[p*m+j], B[c*m+j] = B[c*m+j], B[p*m+j]
-				R[p*m+j], R[c*m+j] = R[c*m+j], R[p*m+j]
-			}
-		}
-		pv := 1 / B[c*m+c]
-		for j := 0; j < m; j++ {
-			B[c*m+j] *= pv
-			R[c*m+j] *= pv
-		}
-		for r := 0; r < m; r++ {
-			if r == c {
-				continue
-			}
-			f := B[r*m+c]
-			if f == 0 {
-				continue
-			}
-			for j := 0; j < m; j++ {
-				B[r*m+j] -= f * B[c*m+j]
-				R[r*m+j] -= f * R[c*m+j]
-			}
-		}
-	}
-	// R is B^-1 in row-major [pos][row]; binv wants column-major
-	// binv[row*m + pos].
-	for pos := 0; pos < m; pos++ {
-		for rr := 0; rr < m; rr++ {
-			ws.binv[rr*m+pos] = R[pos*m+rr]
-		}
-	}
-	return true
 }

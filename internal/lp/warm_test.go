@@ -237,6 +237,9 @@ func TestWarmStartChainedRounds(t *testing.T) {
 		t.Errorf("warm hits = %d, want 5 (stats %+v)", st.WarmHits, st)
 	}
 	if st.Refactorizations != 0 {
-		t.Errorf("refactorizations = %d, want 0 (binv should extend in place)", st.Refactorizations)
+		t.Errorf("refactorizations = %d, want 0 (these tiny warm chains must never overflow the eta file mid-solve)", st.Refactorizations)
+	}
+	if st.Factorizations < 6 {
+		t.Errorf("factorizations = %d, want >= 6 (one sparse LU per solve: the cold start plus five warm rounds)", st.Factorizations)
 	}
 }

@@ -16,7 +16,11 @@ import (
 // cut-covering master of MulticastLB is known to wander (see
 // solveLBMaster); for dense target sets the cutting plane is far
 // smaller and converges quickly.
-func multicastLBDirect(p Problem, ws *lp.Workspace) (*Bound, error) {
+//
+// Variable indices are arithmetic — rho, then the n block in
+// active-edge order, then one x block per target — so no per-target
+// edge-to-variable map is ever built.
+func multicastLBDirect(p Problem, ws *lp.Workspace, sc *scratch) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -25,48 +29,47 @@ func multicastLBDirect(p Problem, ws *lp.Workspace) (*Bound, error) {
 	if scale <= 0 {
 		return infeasibleBound(), nil
 	}
-	edges := g.ActiveEdges()
+	if sc == nil {
+		sc = &scratch{}
+		sc.edges = g.AppendActiveEdges(sc.edges[:0])
+	}
+	edges := sc.edges
 	m := lp.NewModel()
 	m.Maximize()
 	rhoVar := m.AddVar(1, "rho")
-	nVar := make(map[int]int, len(edges))
+	nVar := sc.growVarOf(g.NumEdges())
 	for _, id := range edges {
-		nVar[id] = m.AddVar(0, "")
+		nVar[id] = int32(m.AddVar(0, ""))
 	}
-	// Port rows over n.
-	var buf []int
-	for _, v := range g.ActiveNodes() {
-		for _, in := range []bool{true, false} {
-			if in {
-				buf = g.InEdges(v, buf[:0])
-			} else {
-				buf = g.OutEdges(v, buf[:0])
-			}
-			if len(buf) == 0 {
-				continue
-			}
-			terms := make([]lp.Term, 0, len(buf))
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: nVar[id], Coef: g.Edge(id).Cost / scale})
-			}
-			m.AddRow(lp.LE, 1, terms...)
-		}
+	addPortRowsScaled(m, g, nVar, sc, scale)
+	// Per-target flows of value rho, dominated by n. The x block of
+	// target t starts at xBase = 1 + |edges| + t*|edges| and follows
+	// active-edge rank order (sc.rank maps edge ID -> rank).
+	if cap(sc.rank) < g.NumEdges() {
+		sc.rank = make([]int32, g.NumEdges())
 	}
-	// Per-target flows of value rho, dominated by n.
-	for _, t := range p.Targets {
-		xVar := make(map[int]int, len(edges))
-		for _, id := range edges {
-			xVar[id] = m.AddVar(0, "")
+	rank := sc.rank[:g.NumEdges()]
+	for i, id := range edges {
+		rank[id] = int32(i)
+	}
+	sc.nodes = g.AppendActiveNodes(sc.nodes[:0])
+	nodes := sc.nodes
+	for ti := range p.Targets {
+		t := p.Targets[ti]
+		xBase := m.NumVars()
+		for range edges {
+			m.AddVar(0, "")
 		}
-		for _, v := range g.ActiveNodes() {
-			var terms []lp.Term
-			buf = g.OutEdges(v, buf[:0])
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: xVar[id], Coef: 1})
+		xv := func(id int) int { return xBase + int(rank[id]) }
+		for _, v := range nodes {
+			terms := sc.terms[:0]
+			sc.buf = g.OutEdges(v, sc.buf[:0])
+			for _, id := range sc.buf {
+				terms = append(terms, lp.Term{Var: xv(id), Coef: 1})
 			}
-			buf = g.InEdges(v, buf[:0])
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: xVar[id], Coef: -1})
+			sc.buf = g.InEdges(v, sc.buf[:0])
+			for _, id := range sc.buf {
+				terms = append(terms, lp.Term{Var: xv(id), Coef: -1})
 			}
 			switch v {
 			case p.Source:
@@ -74,13 +77,14 @@ func multicastLBDirect(p Problem, ws *lp.Workspace) (*Bound, error) {
 			case t:
 				terms = append(terms, lp.Term{Var: rhoVar, Coef: 1})
 			}
+			sc.terms = terms[:0]
 			if len(terms) == 0 {
 				continue
 			}
 			m.AddRow(lp.EQ, 0, terms...)
 		}
 		for _, id := range edges {
-			m.AddRow(lp.LE, 0, lp.Term{Var: xVar[id], Coef: 1}, lp.Term{Var: nVar[id], Coef: -1})
+			m.AddRow(lp.LE, 0, lp.Term{Var: xv(id), Coef: 1}, lp.Term{Var: int(nVar[id]), Coef: -1})
 		}
 	}
 	sol, err := m.SolveWith(ws)
@@ -95,8 +99,8 @@ func multicastLBDirect(p Problem, ws *lp.Workspace) (*Bound, error) {
 		return nil, errors.New("steady: MulticastLB direct: zero throughput on a reachable instance")
 	}
 	loads := make([]float64, g.NumEdges())
-	for id, v := range nVar {
-		loads[id] = math.Max(0, sol.X[v]) / rho
+	for _, id := range edges {
+		loads[id] = math.Max(0, sol.X[nVar[id]]) / rho
 	}
 	b := &Bound{Period: scale / rho, EdgeLoad: loads, Rounds: 1}
 	b.noteSolve(sol)

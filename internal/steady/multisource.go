@@ -106,7 +106,7 @@ func multiSourceUB(p Problem, extras []graph.NodeID, opts msOptions) (*Bound, er
 	var pool []msPath
 	poolKey := make(map[string]bool)
 	addPath := func(di int, edges []int, origin graph.NodeID) bool {
-		key := fmt.Sprint(di, edges)
+		key := pathPoolKey(graph.NodeID(di), 0, edges)
 		if poolKey[key] {
 			return false
 		}

@@ -126,27 +126,65 @@ func infeasibleBound() *Bound { return &Bound{Period: math.Inf(1)} }
 // in this form the origin is a feasible basis and ratio tests are
 // non-degenerate.
 
+// scratch pools the per-evaluation buffers of the steady-state
+// programs: the flow solver's residual network, active-edge and node
+// ID lists, the edge-to-variable index, LP term builders, and the
+// BFS/layer-cut workspaces. An Evaluator owns one, so long heuristic
+// runs stop reallocating these on every trial evaluation; the
+// package-level entry points use a private one per call, which keeps
+// their behaviour (and their outputs, bit for bit) unchanged.
+type scratch struct {
+	flow     flow.Solver
+	edges    []int     // active-edge ID buffer
+	varOf    []int32   // edge ID -> LP variable index, -1 when absent
+	rank     []int32   // edge ID -> dense rank among active edges
+	terms    []lp.Term // row-terms build buffer
+	capacity []float64
+	blocked  []bool
+	seen     []bool
+	stack    []graph.NodeID
+	dist     []int32
+	queue    []graph.NodeID
+	cut      []int
+	inT      []bool
+	nodes    []graph.NodeID
+	buf      []int
+}
+
+func (sc *scratch) growVarOf(n int) []int32 {
+	if cap(sc.varOf) < n {
+		sc.varOf = make([]int32, n)
+	}
+	sc.varOf = sc.varOf[:n]
+	for i := range sc.varOf {
+		sc.varOf[i] = -1
+	}
+	return sc.varOf
+}
+
 // addPortRows adds the normalised one-port occupation constraints
 // sum_{e in in(v)} c(e) x(e) <= 1 and the symmetric out-port rows for
-// every active node, where xVar maps edge IDs to LP variables.
-func addPortRows(m *lp.Model, g *graph.Graph, xVar map[int]int) {
-	var buf []int
-	for _, v := range g.ActiveNodes() {
-		buf = g.InEdges(v, buf[:0])
-		if len(buf) > 0 {
-			terms := make([]lp.Term, 0, len(buf))
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: xVar[id], Coef: g.Edge(id).Cost})
+// every active node, where varOf maps edge IDs to LP variables.
+func addPortRows(m *lp.Model, g *graph.Graph, varOf []int32, sc *scratch) {
+	sc.nodes = g.AppendActiveNodes(sc.nodes[:0])
+	for _, v := range sc.nodes {
+		sc.buf = g.InEdges(v, sc.buf[:0])
+		if len(sc.buf) > 0 {
+			terms := sc.terms[:0]
+			for _, id := range sc.buf {
+				terms = append(terms, lp.Term{Var: int(varOf[id]), Coef: g.Edge(id).Cost})
 			}
 			m.AddRow(lp.LE, 1, terms...)
+			sc.terms = terms[:0]
 		}
-		buf = g.OutEdges(v, buf[:0])
-		if len(buf) > 0 {
-			terms := make([]lp.Term, 0, len(buf))
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: xVar[id], Coef: g.Edge(id).Cost})
+		sc.buf = g.OutEdges(v, sc.buf[:0])
+		if len(sc.buf) > 0 {
+			terms := sc.terms[:0]
+			for _, id := range sc.buf {
+				terms = append(terms, lp.Term{Var: int(varOf[id]), Coef: g.Edge(id).Cost})
 			}
 			m.AddRow(lp.LE, 1, terms...)
+			sc.terms = terms[:0]
 		}
 	}
 }
@@ -156,24 +194,26 @@ func addPortRows(m *lp.Model, g *graph.Graph, xVar map[int]int) {
 // counted separately on every link (a scatter). Its period is an upper
 // bound on the optimal multicast period, and the bound is achievable
 // (Section 5.1.2 of the paper).
-func ScatterUB(p Problem) (*Bound, error) { return scatterUB(p, nil) }
+func ScatterUB(p Problem) (*Bound, error) { return scatterUB(p, nil, nil) }
 
-// scatterUB is ScatterUB on a caller-supplied LP workspace (nil for a
-// private one); the Evaluator routes through it to reuse allocations
-// across a whole heuristic run.
-func scatterUB(p Problem, ws *lp.Workspace) (*Bound, error) {
+// scatterUB is ScatterUB on a caller-supplied LP workspace and scratch
+// (nil for private ones); the Evaluator routes through it to reuse
+// allocations across a whole heuristic run.
+func scatterUB(p Problem, ws *lp.Workspace, sc *scratch) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
 	}
+	if sc == nil {
+		sc = &scratch{}
+	}
 	m := lp.NewModel()
 	m.Maximize()
 	rhoVar := m.AddVar(1, "rho")
-	edges := g.ActiveEdges()
-	fVar := make(map[int]int, len(edges))
-	for _, id := range edges {
-		e := g.Edge(id)
-		fVar[id] = m.AddVar(0, fmt.Sprintf("f_%s_%s", g.Name(e.From), g.Name(e.To)))
+	sc.edges = g.AppendActiveEdges(sc.edges[:0])
+	fVar := sc.growVarOf(g.NumEdges())
+	for _, id := range sc.edges {
+		fVar[id] = int32(m.AddVar(0, ""))
 	}
 	isTarget := make(map[graph.NodeID]bool, len(p.Targets))
 	for _, t := range p.Targets {
@@ -181,16 +221,16 @@ func scatterUB(p Problem, ws *lp.Workspace) (*Bound, error) {
 	}
 	// Flow conservation per unit time: net outflow = +N*rho at the
 	// source, -rho at targets.
-	var buf []int
-	for _, v := range g.ActiveNodes() {
-		var terms []lp.Term
-		buf = g.OutEdges(v, buf[:0])
-		for _, id := range buf {
-			terms = append(terms, lp.Term{Var: fVar[id], Coef: 1})
+	sc.nodes = g.AppendActiveNodes(sc.nodes[:0])
+	for _, v := range sc.nodes {
+		terms := sc.terms[:0]
+		sc.buf = g.OutEdges(v, sc.buf[:0])
+		for _, id := range sc.buf {
+			terms = append(terms, lp.Term{Var: int(fVar[id]), Coef: 1})
 		}
-		buf = g.InEdges(v, buf[:0])
-		for _, id := range buf {
-			terms = append(terms, lp.Term{Var: fVar[id], Coef: -1})
+		sc.buf = g.InEdges(v, sc.buf[:0])
+		for _, id := range sc.buf {
+			terms = append(terms, lp.Term{Var: int(fVar[id]), Coef: -1})
 		}
 		switch {
 		case v == p.Source:
@@ -198,12 +238,13 @@ func scatterUB(p Problem, ws *lp.Workspace) (*Bound, error) {
 		case isTarget[v]:
 			terms = append(terms, lp.Term{Var: rhoVar, Coef: 1})
 		}
+		sc.terms = terms[:0]
 		if len(terms) == 0 {
 			continue
 		}
 		m.AddRow(lp.EQ, 0, terms...)
 	}
-	addPortRows(m, g, fVar)
+	addPortRows(m, g, fVar, sc)
 	sol, err := m.SolveWith(ws)
 	if err != nil {
 		return nil, err
@@ -216,8 +257,8 @@ func scatterUB(p Problem, ws *lp.Workspace) (*Bound, error) {
 		return nil, errors.New("steady: ScatterUB: zero throughput on a reachable instance")
 	}
 	load := make([]float64, g.NumEdges())
-	for id, v := range fVar {
-		load[id] = math.Max(0, sol.X[v]) / rho
+	for _, id := range sc.edges {
+		load[id] = math.Max(0, sol.X[fVar[id]]) / rho
 	}
 	b := &Bound{Period: 1 / rho, EdgeLoad: load}
 	b.noteSolve(sol)
@@ -256,9 +297,11 @@ type LBOptions struct {
 
 	// seeds are pre-validated source->target cuts used to prime the cut
 	// pool (Evaluator reuse across related platforms); onCut observes
-	// every cut the separation generates.
+	// every cut the separation generates; sc supplies the pooled
+	// evaluation scratch (nil allocates a private one per call).
 	seeds []seedCut
 	onCut func(target graph.NodeID, cut []int)
+	sc    *scratch
 }
 
 type seedCut struct {
@@ -276,10 +319,14 @@ func MulticastLBWith(p Problem, opts LBOptions) (*Bound, error) {
 	}
 	// Estimated direct-formulation row count; below the cap the direct
 	// LP is cheap and immune to cut thrashing.
+	if opts.sc == nil {
+		opts.sc = &scratch{}
+	}
 	nodes := g.NumActive()
-	arcs := len(g.ActiveEdges())
+	opts.sc.edges = g.AppendActiveEdges(opts.sc.edges[:0])
+	arcs := len(opts.sc.edges)
 	if len(p.Targets)*(nodes+arcs)+2*nodes <= 4600 {
-		return multicastLBDirect(p, opts.Workspace)
+		return multicastLBDirect(p, opts.Workspace, opts.sc)
 	}
 	return multicastLBCuts(p, opts)
 }
@@ -301,32 +348,20 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 		return infeasibleBound(), nil
 	}
 
-	edges := g.ActiveEdges()
+	sc := opts.sc
+	if sc == nil {
+		sc = &scratch{}
+		sc.edges = g.AppendActiveEdges(sc.edges[:0])
+	}
+	edges := sc.edges
 	master := lp.NewModel()
 	master.Maximize()
 	rhoVar := master.AddVar(1, "rho")
-	nVar := make(map[int]int, len(edges))
+	nVar := sc.growVarOf(g.NumEdges())
 	for _, id := range edges {
-		nVar[id] = master.AddVar(0, "")
+		nVar[id] = int32(master.AddVar(0, ""))
 	}
-	var buf []int
-	for _, v := range g.ActiveNodes() {
-		for _, in := range []bool{true, false} {
-			if in {
-				buf = g.InEdges(v, buf[:0])
-			} else {
-				buf = g.OutEdges(v, buf[:0])
-			}
-			if len(buf) == 0 {
-				continue
-			}
-			terms := make([]lp.Term, 0, len(buf))
-			for _, id := range buf {
-				terms = append(terms, lp.Term{Var: nVar[id], Coef: g.Edge(id).Cost / scale})
-			}
-			master.AddRow(lp.LE, 1, terms...)
-		}
-	}
+	addPortRowsScaled(master, g, nVar, sc, scale)
 
 	seen := make(map[string]bool)
 	ncuts := 0
@@ -340,12 +375,13 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 		}
 		seen[key] = true
 		ncuts++
-		terms := make([]lp.Term, 0, len(cut)+1)
+		terms := sc.terms[:0]
 		for _, id := range cut {
-			terms = append(terms, lp.Term{Var: nVar[id], Coef: 1})
+			terms = append(terms, lp.Term{Var: int(nVar[id]), Coef: 1})
 		}
 		terms = append(terms, lp.Term{Var: rhoVar, Coef: -1})
 		master.AddRow(lp.GE, 0, terms...)
+		sc.terms = terms[:0]
 		if opts.onCut != nil {
 			opts.onCut(target, cut)
 		}
@@ -361,12 +397,12 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 	for _, s := range opts.seeds {
 		addCut(s.target, s.edges)
 	}
-	addCut(p.Targets[0], g.OutEdges(p.Source, nil))
+	sc.buf = g.OutEdges(p.Source, sc.buf[:0])
+	addCut(p.Targets[0], sc.buf)
 	for _, t := range p.Targets {
-		addCut(t, g.InEdges(t, nil))
-		for _, cut := range layerCuts(g, p.Source, t) {
-			addCut(t, cut)
-		}
+		sc.buf = g.InEdges(t, sc.buf[:0])
+		addCut(t, sc.buf)
+		layerCuts(g, p.Source, t, sc, func(cut []int) { addCut(t, cut) })
 	}
 
 	ws := opts.Workspace
@@ -375,7 +411,13 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 	}
 	bound := &Bound{}
 	var basis lp.Basis
-	capacity := make([]float64, g.NumEdges())
+	if cap(sc.capacity) < g.NumEdges() {
+		sc.capacity = make([]float64, g.NumEdges())
+	}
+	capacity := sc.capacity[:g.NumEdges()]
+	for i := range capacity {
+		capacity[i] = 0
+	}
 	const maxRounds = 500
 	for round := 0; ; round++ {
 		if round >= maxRounds {
@@ -401,12 +443,12 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 		if rho <= cutTol {
 			return nil, errors.New("steady: MulticastLB: zero throughput on a reachable instance")
 		}
-		for id, v := range nVar {
-			capacity[id] = math.Max(0, sol.X[v])
+		for _, id := range edges {
+			capacity[id] = math.Max(0, sol.X[nVar[id]])
 		}
 		violated := false
 		for _, t := range p.Targets {
-			value, _, cut := flow.MinCut(g, capacity, p.Source, t)
+			value, cut := sc.flow.MinCut(g, capacity, p.Source, t)
 			if value < rho*(1-cutTol) {
 				if len(cut) == 0 {
 					// No crossing edge at all: the target is unreachable.
@@ -419,36 +461,66 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 		}
 		if !violated {
 			// Report the paper's per-multicast quantities; rho is per
-			// *scaled* time unit, so the true period is scale/rho.
-			for i := range capacity {
-				capacity[i] /= rho
+			// *scaled* time unit, so the true period is scale/rho. The
+			// load profile is returned to the caller, so it cannot live
+			// in the scratch.
+			loads := make([]float64, g.NumEdges())
+			for i, c := range capacity {
+				loads[i] = c / rho
 			}
 			bound.Period = scale / rho
-			bound.EdgeLoad = capacity
+			bound.EdgeLoad = loads
 			bound.Cuts = ncuts
 			return bound, nil
 		}
 	}
 }
 
-// layerCuts returns the hop-distance layer cuts between source and
+// addPortRowsScaled is addPortRows with every coefficient divided by
+// scale (the cut master normalises edge costs for conditioning).
+func addPortRowsScaled(m *lp.Model, g *graph.Graph, varOf []int32, sc *scratch, scale float64) {
+	sc.nodes = g.AppendActiveNodes(sc.nodes[:0])
+	for _, v := range sc.nodes {
+		for _, in := range []bool{true, false} {
+			if in {
+				sc.buf = g.InEdges(v, sc.buf[:0])
+			} else {
+				sc.buf = g.OutEdges(v, sc.buf[:0])
+			}
+			if len(sc.buf) == 0 {
+				continue
+			}
+			terms := sc.terms[:0]
+			for _, id := range sc.buf {
+				terms = append(terms, lp.Term{Var: int(varOf[id]), Coef: g.Edge(id).Cost / scale})
+			}
+			m.AddRow(lp.LE, 1, terms...)
+			sc.terms = terms[:0]
+		}
+	}
+}
+
+// layerCuts emits the hop-distance layer cuts between source and
 // target: for each k in [0, hopdist(source -> t)), the edges crossing
 // from {v : hopdist(v -> t) > k} into the rest. Nodes that cannot reach
-// t at all count as infinitely far (source side).
-func layerCuts(g *graph.Graph, source, t graph.NodeID) [][]int {
-	const inf = int(^uint(0) >> 1)
-	dist := make([]int, g.NumNodes())
+// t at all count as infinitely far (source side). The emitted slice is
+// scratch-owned and only valid for the duration of the callback.
+func layerCuts(g *graph.Graph, source, t graph.NodeID, sc *scratch, emit func(cut []int)) {
+	const inf = int32(^uint32(0) >> 1)
+	n := g.NumNodes()
+	if cap(sc.dist) < n {
+		sc.dist = make([]int32, n)
+	}
+	dist := sc.dist[:n]
 	for i := range dist {
 		dist[i] = inf
 	}
 	dist[t] = 0
-	queue := []graph.NodeID{t}
-	var buf []int
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		buf = g.InEdges(v, buf[:0])
-		for _, id := range buf {
+	queue := append(sc.queue[:0], t)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		sc.buf = g.InEdges(v, sc.buf[:0])
+		for _, id := range sc.buf {
 			from := g.Edge(id).From
 			if dist[from] == inf {
 				dist[from] = dist[v] + 1
@@ -456,23 +528,23 @@ func layerCuts(g *graph.Graph, source, t graph.NodeID) [][]int {
 			}
 		}
 	}
+	sc.queue = queue[:0]
 	if dist[source] == inf {
-		return nil
+		return
 	}
-	cuts := make([][]int, 0, dist[source])
-	for k := 0; k < dist[source]; k++ {
-		var cut []int
-		for _, id := range g.ActiveEdges() {
+	for k := int32(0); k < dist[source]; k++ {
+		cut := sc.cut[:0]
+		for _, id := range sc.edges {
 			e := g.Edge(id)
 			if dist[e.From] > k && dist[e.To] <= k {
 				cut = append(cut, id)
 			}
 		}
+		sc.cut = cut[:0]
 		if len(cut) > 0 {
-			cuts = append(cuts, cut)
+			emit(cut)
 		}
 	}
-	return cuts
 }
 
 func cutKey(cut []int) string {
@@ -524,9 +596,22 @@ func BroadcastEBWith(g *graph.Graph, source graph.NodeID, opts LBOptions) (*Boun
 // max-flow falls short of one unit (possible only through numerical
 // noise) are returned with their maximum flow instead.
 func RecoverUnitFlows(g *graph.Graph, load []float64, source graph.NodeID, targets []graph.NodeID) map[graph.NodeID][]float64 {
+	var sv flow.Solver
+	return recoverUnitFlows(&sv, g, load, source, targets)
+}
+
+// RecoverUnitFlows on an Evaluator reuses the evaluator's pooled flow
+// solver, so heuristic scoring passes stop rebuilding one residual
+// network per target. The per-target flow slices are fresh (callers
+// retain them); only the solver scratch is shared.
+func (e *Evaluator) RecoverUnitFlows(g *graph.Graph, load []float64, source graph.NodeID, targets []graph.NodeID) map[graph.NodeID][]float64 {
+	return recoverUnitFlows(&e.sc.flow, g, load, source, targets)
+}
+
+func recoverUnitFlows(sv *flow.Solver, g *graph.Graph, load []float64, source graph.NodeID, targets []graph.NodeID) map[graph.NodeID][]float64 {
 	out := make(map[graph.NodeID][]float64, len(targets))
 	for _, t := range targets {
-		_, f := flow.MaxFlowUpTo(g, load, source, t, 1)
+		_, f := sv.MaxFlowUpTo(g, load, source, t, 1, nil)
 		out[t] = f
 	}
 	return out
