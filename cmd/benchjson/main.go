@@ -82,7 +82,7 @@ func main() {
 				regressions, *tolerance*100, *bytesTol*100, flag.Arg(0))
 		}
 		if *strict && removed > 0 {
-			log.Fatalf("%d baseline benchmark(s) were not run (-strict): update %s", removed, flag.Arg(0))
+			log.Fatalf("%d baseline benchmark(s) lost coverage — not run, or run without -benchmem (-strict): update %s", removed, flag.Arg(0))
 		}
 		return
 	}
@@ -134,7 +134,9 @@ func loadEntries(path string) ([]Entry, error) {
 // returns a human-readable report plus the number of regressions —
 // ns/op beyond tolerance, or bytes/op beyond bytesTol when both sides
 // report allocation bytes (bytesTol <= 0 disables that gate) — and the
-// number of baseline benchmarks the candidate did not run. Baseline
+// number of baseline benchmarks whose coverage the candidate lost:
+// either not run at all, or run without -benchmem when the baseline
+// tracks B/op (a zero candidate bytes/op must not read as a win). Baseline
 // entries below minNs are skipped (their single-iteration timings are
 // noise; the bytes gate shares the filter because tiny benchmarks
 // allocate per-call noise too). Benchmarks present in only one file
@@ -170,6 +172,16 @@ func Compare(baseline, candidate []Entry, tolerance, bytesTol, minNs float64) (r
 		case ratio < 1-tolerance:
 			report = append(report, fmt.Sprintf("improved: %s: %.0f ns/op -> %.0f ns/op (%+.1f%%)",
 				old.Name, old.NsPerOp, now.NsPerOp, (ratio-1)*100))
+		}
+		if bytesTol > 0 && old.BytesPerOp > 0 && now.BytesPerOp == 0 {
+			// The baseline tracks allocations but the candidate run
+			// reported none — almost always a missing -benchmem. Treating
+			// it as "no regression" would let the bytes gate silently
+			// lose coverage, so it counts as drift (-strict fails on it)
+			// instead of poisoning the ratio with a zero.
+			removed++
+			report = append(report, fmt.Sprintf("no bytes: %s has %.0f B/op in the baseline but the candidate reports none (missing -benchmem?)",
+				old.Name, old.BytesPerOp))
 		}
 		if bytesTol > 0 && old.BytesPerOp > 0 && now.BytesPerOp > 0 {
 			bratio := now.BytesPerOp / old.BytesPerOp

@@ -159,6 +159,47 @@ func TestCompareFlagsBytesRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareFlagsMissingBytes: a candidate entry with no B/op where
+// the baseline tracks allocations (the benchmark ran without
+// -benchmem) must not silently pass the bytes gate — it is flagged and
+// counted as coverage drift so -strict fails, while a benchmark with
+// no bytes on either side stays a plain skip.
+func TestCompareFlagsMissingBytes(t *testing.T) {
+	baseline := []Entry{
+		entryB("BenchmarkA", 10e6, 1e6),
+		entry("BenchmarkNeverHadBytes", 10e6),
+	}
+	candidate := []Entry{
+		entry("BenchmarkA", 10e6), // bytes coverage lost
+		entry("BenchmarkNeverHadBytes", 10e6),
+	}
+	report, regressions, removed := Compare(baseline, candidate, 0.25, 0.35, 1e6)
+	if regressions != 0 {
+		t.Errorf("missing bytes misread as a regression (%d):\n%s", regressions, strings.Join(report, "\n"))
+	}
+	if removed != 1 {
+		t.Errorf("got %d removed, want 1 (bytes coverage drift on BenchmarkA)\n%s", removed, strings.Join(report, "\n"))
+	}
+	saw := false
+	for _, line := range report {
+		if strings.Contains(line, "no bytes") {
+			if strings.Contains(line, "BenchmarkNeverHadBytes") {
+				t.Errorf("flagged a benchmark that never tracked bytes: %s", line)
+			}
+			if strings.Contains(line, "BenchmarkA") {
+				saw = true
+			}
+		}
+	}
+	if !saw {
+		t.Errorf("report missing the no-bytes line for BenchmarkA:\n%s", strings.Join(report, "\n"))
+	}
+	// Disabling the bytes gate disables the drift check with it.
+	if _, _, removed = Compare(baseline, candidate, 0.25, 0, 1e6); removed != 0 {
+		t.Errorf("bytesTol=0 still counted %d removed", removed)
+	}
+}
+
 // TestCompareCountsRemovalsBelowMinNs: a removed benchmark counts as
 // baseline drift even when its baseline timing sits below the noise
 // floor — min-ns gates the timing comparison, not presence.

@@ -114,10 +114,11 @@ type row struct {
 // previous optimal basis. Existing rows and objective coefficients must
 // not change between warm-started solves.
 type Model struct {
-	obj      []float64
-	names    []string
-	rows     []row
-	maximize bool
+	obj        []float64
+	names      []string
+	rows       []row
+	maximize   bool
+	noPresolve bool
 }
 
 // NewModel returns an empty minimisation model.
@@ -125,6 +126,12 @@ func NewModel() *Model { return &Model{} }
 
 // Maximize switches the model to maximisation.
 func (m *Model) Maximize() { m.maximize = true }
+
+// SetPresolve toggles the presolve reduction pass (presolve.go) that
+// cold solves run by default. Turning it off makes SolveWith hand the
+// model to the simplex verbatim — useful for debugging, for measuring
+// presolve's effect, and as an escape hatch.
+func (m *Model) SetPresolve(on bool) { m.noPresolve = !on }
 
 // AddVar adds a non-negative variable with the given objective
 // coefficient and returns its index.
@@ -184,12 +191,16 @@ func (m *Model) AddColumn(objCoef float64, name string, entries ...RowCoef) int 
 // It is opaque: obtain one from Solution.Basis and pass it back to
 // SolveFrom.
 type Basis struct {
-	cols []int // >= 0: structural variable; < 0: unit column ^enc of a row
+	cols  []int // >= 0: structural variable; < 0: unit column ^enc of a row
+	valid bool  // set by exportBasis; distinguishes "no info" from a 0-row basis
 }
 
 // Empty reports whether the basis carries no information (the zero
-// Basis); SolveFrom treats an empty basis as a cold start.
-func (b Basis) Empty() bool { return len(b.cols) == 0 }
+// Basis); SolveFrom treats an empty basis as a cold start. A captured
+// basis is never empty — not even the legitimate optimal basis of a
+// model with zero rows, which has no basic columns at all but still
+// round-trips through SolveFrom as a warm start.
+func (b Basis) Empty() bool { return !b.valid }
 
 // Rows returns the number of constraint rows the basis covers.
 func (b Basis) Rows() int { return len(b.cols) }
@@ -238,10 +249,48 @@ func (m *Model) Solve() (*Solution, error) {
 // SolveWith runs a cold two-phase solve reusing the workspace's scratch
 // allocations (a nil workspace allocates a private one). The workspace
 // must not be shared between goroutines.
+//
+// Unless the model opts out via SetPresolve(false), the solve first
+// runs the presolve reductions (presolve.go); the simplex sees the
+// reduced program and postsolve maps its solution — values, duals and
+// basis — back to the caller's row and column space. A model presolve
+// reduces to nothing, or proves infeasible or unbounded outright, never
+// reaches the simplex at all.
 func (m *Model) SolveWith(ws *Workspace) (*Solution, error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	if m.noPresolve {
+		return ws.solveColdLadder(m)
+	}
+	switch ws.presolve(m) {
+	case psInfeasible:
+		return &Solution{Status: Infeasible, X: make([]float64, len(m.obj)), Dual: make([]float64, len(m.rows))}, nil
+	case psNoChange:
+		return ws.solveColdLadder(m)
+	}
+	rsol, err := ws.solveColdLadder(&ws.ps.red)
+	if err != nil {
+		return nil, err
+	}
+	if ws.ps.unbnd {
+		// Presolve found an improving ray along an unconstrained column,
+		// a verdict that only stands on a feasible model — infeasibility
+		// always wins over unboundedness.
+		st := Unbounded
+		if rsol.Status == Infeasible {
+			st = Infeasible
+		}
+		return &Solution{Status: st, X: make([]float64, len(m.obj)), Dual: make([]float64, len(m.rows))}, nil
+	}
+	return ws.postsolve(m, rsol), nil
+}
+
+// solveColdLadder is the cold retry ladder shared by SolveWith and
+// SolveFrom's fallback: a clean cold solve, then — only if the simplex
+// cycled out on a degenerate plateau — one retry with a tiny
+// deterministic right-hand-side perturbation.
+func (ws *Workspace) solveColdLadder(m *Model) (*Solution, error) {
 	sol, err := ws.solveCold(m, 0)
 	if errors.Is(err, ErrIterationLimit) {
 		sol, err = ws.solveCold(m, 1e-7)
@@ -256,7 +305,10 @@ func (m *Model) SolveWith(ws *Workspace) (*Solution, error) {
 // pivots before the primal finishes the solve. Whenever the basis
 // cannot be reused — unknown columns, appended equality rows, a
 // singular or dual-infeasible basis, or any numerical trouble on the
-// warm path — SolveFrom falls back to the cold path of SolveWith.
+// warm path — SolveFrom falls back to the cold path of SolveWith,
+// including its perturbed ErrIterationLimit retry: a cycling warm
+// start is never allowed to fail where the identical cold call would
+// succeed.
 func (m *Model) SolveFrom(ws *Workspace, basis Basis) (*Solution, error) {
 	if ws == nil {
 		ws = NewWorkspace()
@@ -264,13 +316,16 @@ func (m *Model) SolveFrom(ws *Workspace, basis Basis) (*Solution, error) {
 	if !basis.Empty() {
 		ws.stats.WarmAttempts++
 		sol, ok, err := ws.solveWarm(m, basis)
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrIterationLimit) {
 			return nil, err
 		}
-		if ok {
+		if ok && err == nil {
 			ws.stats.WarmHits++
 			return sol, nil
 		}
+		// A warm path that stalled on a degenerate plateau
+		// (ErrIterationLimit) or could not reuse the basis falls through
+		// to the full cold ladder below, never straight to the caller.
 	}
 	return m.SolveWith(ws)
 }

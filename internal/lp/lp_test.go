@@ -190,6 +190,171 @@ func TestDuplicateTermsSummed(t *testing.T) {
 	}
 }
 
+// TestDuplicateTermsAddColumn pins the AddColumn side of the
+// "duplicate terms are summed" contract: entries referencing the same
+// row twice must coalesce in the compiled column store, exactly like
+// AddRow duplicates.
+func TestDuplicateTermsAddColumn(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	r := m.AddRow(LE, 6)
+	x := m.AddColumn(1, "x", RowCoef{Row: r, Coef: 1}, RowCoef{Row: r, Coef: 2}) // 3x <= 6
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x], 2, 1e-8) || !approx(sol.Objective, 2, 1e-8) {
+		t.Fatalf("x = %v obj = %v, want x = 2 obj = 2", sol.X[x], sol.Objective)
+	}
+}
+
+// TestDuplicateTermsWarmPath pins duplicate coalescing on the warm
+// path: a row with duplicate terms appended after a solve must compile
+// identically when SolveFrom re-solves from the previous basis.
+func TestDuplicateTermsWarmPath(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	x := m.AddVar(1, "x")
+	m.AddRow(LE, 10, Term{x, 1})
+	ws := NewWorkspace()
+	sol, err := m.SolveWith(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddRow(LE, 6, Term{x, 1}, Term{x, 2}) // effectively 3x <= 6
+	warm, err := m.SolveFrom(ws, sol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(warm.X[x], 2, 1e-8) {
+		t.Fatalf("x = %v, want 2 (duplicate terms not coalesced on the warm path)", warm.X[x])
+	}
+
+	// And the column-generation variant: an AddColumn with duplicate
+	// entries into an existing row, priced in by a warm re-solve.
+	m2 := NewModel()
+	m2.Maximize()
+	x2 := m2.AddVar(1, "x")
+	r := m2.AddRow(LE, 12, Term{x2, 1})
+	ws2 := NewWorkspace()
+	sol2, err := m2.SolveWith(ws2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := m2.AddColumn(5, "y", RowCoef{Row: r, Coef: 2}, RowCoef{Row: r, Coef: 1}) // effectively 3y
+	warm2, err := m2.SolveFrom(ws2, sol2.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(warm2.X[y], 4, 1e-8) || !approx(warm2.Objective, 20, 1e-8) {
+		t.Fatalf("y = %v obj = %v, want y = 4 obj = 20", warm2.X[y], warm2.Objective)
+	}
+}
+
+// TestZeroRowBasisRoundTrip pins the Basis.Empty fix: the optimal
+// basis of a 0-row model has no basic columns but is real information,
+// so SolveFrom must treat it as a warm start — the column-generation
+// masters start rowless and previously cold-started forever.
+func TestZeroRowBasisRoundTrip(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	ws := NewWorkspace()
+	sol, err := m.SolveWith(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Basis.Empty() {
+		t.Fatalf("0-row solve: status %v, basis empty %v; want optimal with a non-empty basis", sol.Status, sol.Basis.Empty())
+	}
+	warm, err := m.SolveFrom(ws, sol.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatalf("0-row basis did not round-trip: WarmStarted = false")
+	}
+	st := ws.Stats()
+	if st.WarmAttempts != 1 || st.WarmHits != 1 {
+		t.Fatalf("stats = %+v, want WarmAttempts = 1 and WarmHits = 1", st)
+	}
+	// The round-trip must also survive growth: an inequality appended to
+	// the rowless basis joins on its slack.
+	m.AddRow(GE, 2, Term{x, 1})
+	grown, err := m.SolveFrom(ws, warm.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Status != Optimal || !approx(grown.X[x], 2, 1e-9) {
+		t.Fatalf("grown solve: %+v, want optimal x = 2", grown)
+	}
+	// A zero Basis literal must still mean "no information".
+	if !(Basis{}).Empty() {
+		t.Fatal("zero Basis is not Empty")
+	}
+}
+
+// degenerateZeroRHSModel builds the satellite's stress shape: a cycle
+// of zero-RHS >= rows (massively degenerate) under a covering row.
+func degenerateZeroRHSModel(n int) *Model {
+	m := NewModel()
+	for j := 0; j < n; j++ {
+		m.AddVar(1, "")
+	}
+	for i := 0; i < n; i++ {
+		m.AddRow(GE, 0, Term{i, 1}, Term{(i + 1) % n, -1})
+	}
+	terms := make([]Term, n)
+	for j := 0; j < n; j++ {
+		terms[j] = Term{j, 1}
+	}
+	m.AddRow(GE, 3, terms...)
+	return m
+}
+
+// TestSolveFromFallbackLadder pins the unified fallback: SolveFrom on
+// a degenerate zero-RHS instance — whether the basis is usable, stale,
+// or outright junk — must end up at least as robust as SolveWith,
+// including the perturbed ErrIterationLimit retry.
+func TestSolveFromFallbackLadder(t *testing.T) {
+	m := degenerateZeroRHSModel(12)
+	ws := NewWorkspace()
+	sol, err := m.SolveWith(ws)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold: %+v err %v", sol, err)
+	}
+	if !approx(sol.Objective, 3, 1e-6) {
+		t.Fatalf("cold objective = %v, want 3", sol.Objective)
+	}
+
+	// Warm re-solve after appending another degenerate row.
+	m.AddRow(GE, 0, Term{0, 1}, Term{6, -1})
+	warm, err := m.SolveFrom(ws, sol.Basis)
+	if err != nil {
+		t.Fatalf("SolveFrom returned %v; the fallback ladder must absorb warm-path failures", err)
+	}
+	if warm.Status != Optimal || !approx(warm.Objective, 3, 1e-6) {
+		t.Fatalf("warm: %+v, want optimal objective 3", warm)
+	}
+
+	// A basis from an unrelated model shape (too many rows) must be
+	// rejected and still land on the cold ladder, not error out.
+	other := degenerateZeroRHSModel(16)
+	osol, err := other.SolveWith(NewWorkspace())
+	if err != nil || osol.Status != Optimal {
+		t.Fatalf("other cold: %+v err %v", osol, err)
+	}
+	fallback, err := m.SolveFrom(NewWorkspace(), osol.Basis)
+	if err != nil {
+		t.Fatalf("stale-basis SolveFrom: %v", err)
+	}
+	if fallback.WarmStarted {
+		t.Fatal("oversized foreign basis was accepted as a warm start")
+	}
+	if fallback.Status != Optimal || !approx(fallback.Objective, 3, 1e-6) {
+		t.Fatalf("fallback: %+v, want optimal objective 3", fallback)
+	}
+}
+
 func TestBadVarPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

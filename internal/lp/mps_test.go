@@ -1,0 +1,519 @@
+package lp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestReadMPSFreeFormat parses a small free-format file touching every
+// row sense and checks the optimum against the hand-computed answer:
+// min 2x + 3y  s.t.  x + y >= 4,  x <= 3,  x - y = 1  ->  x=2.5, y=1.5.
+func TestReadMPSFreeFormat(t *testing.T) {
+	src := `
+* hand-written free-format sample
+NAME          TINY
+ROWS
+ N  COST
+ G  COVER
+ L  CAP
+ E  TIE
+COLUMNS
+    X         COST      2.0   COVER     1.0
+    X         CAP       1.0   TIE       1.0
+    Y         COST      3.0   COVER     1.0
+    Y         TIE       -1.0
+RHS
+    RHS       COVER     4.0   CAP       3.0
+    RHS       TIE       1.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "TINY" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	if f.NumVars() != 2 || f.NumRows() != 3 {
+		t.Fatalf("got %d vars, %d rows", f.NumVars(), f.NumRows())
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if got := f.Objective(sol); !testutil.Near(got, 9.5, 1e-9) {
+		t.Fatalf("objective = %v, want 9.5", got)
+	}
+	x := f.Values(sol)
+	if !testutil.Near(x[0], 2.5, 1e-9) || !testutil.Near(x[1], 1.5, 1e-9) {
+		t.Fatalf("x = %v, want [2.5 1.5]", x)
+	}
+}
+
+// TestReadMPSFixedFormat parses the same program laid out in the
+// classic fixed columns (fields at 2, 5, 15, 25, 40, 50) to pin that
+// whitespace tokenisation really does cover fixed-format files.
+func TestReadMPSFixedFormat(t *testing.T) {
+	src := "* fixed-format layout\n" +
+		"NAME          TINYFIX\n" +
+		"ROWS\n" +
+		" N  COST\n" +
+		" G  COVER\n" +
+		" L  CAP\n" +
+		"COLUMNS\n" +
+		"    X         COST            2.0   COVER           1.0\n" +
+		"    X         CAP             1.0\n" +
+		"    Y         COST            3.0   COVER           1.0\n" +
+		"RHS\n" +
+		"    RHS       COVER           4.0   CAP             3.0\n" +
+		"ENDATA\n"
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min 2x+3y, x+y>=4, x<=3 -> x=3, y=1, obj=9.
+	if got := f.Objective(sol); sol.Status != Optimal || !testutil.Near(got, 9, 1e-9) {
+		t.Fatalf("status %v objective %v, want optimal 9", sol.Status, got)
+	}
+}
+
+// TestMPSBoundLowering exercises every supported BOUNDS type and
+// checks that solutions come back in the original variable space.
+func TestMPSBoundLowering(t *testing.T) {
+	// min xl + xu + 0.5*xf + xfx + 0.3*xm
+	//   s.t. xl + xu + xf + xfx + xm >= 10
+	// with xl >= 2, 0 <= xu <= 3, xf free, xfx = 1.5, xm <= 1 (no lower
+	// bound). Cheapest cover per unit is xm (0.3, capped at 1), then the
+	// free xf (0.5); xl sits at its lower bound 2, xfx is fixed at 1.5,
+	// xu stays 0. xf = 10 - 1 - 2 - 1.5 = 5.5 and
+	// obj = 2 + 0 + 0.5*5.5 + 1.5 + 0.3 = 6.55.
+	src := `
+NAME          BOUNDS
+ROWS
+ N  COST
+ G  COVER
+COLUMNS
+    XL        COST      1.0   COVER     1.0
+    XU        COST      1.0   COVER     1.0
+    XF        COST      0.5   COVER     1.0
+    XFX       COST      1.0   COVER     1.0
+    XM        COST      0.3   COVER     1.0
+RHS
+    RHS       COVER     10.0
+BOUNDS
+ LO BND       XL        2.0
+ UP BND       XU        3.0
+ FR BND       XF
+ FX BND       XFX       1.5
+ MI BND       XM
+ UP BND       XM        1.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	x := f.Values(sol)
+	byName := map[string]float64{}
+	for j, n := range f.VarNames() {
+		byName[n] = x[j]
+	}
+	if !testutil.Near(byName["XFX"], 1.5, 1e-9) {
+		t.Fatalf("fixed variable XFX = %v, want 1.5", byName["XFX"])
+	}
+	if byName["XL"] < 2-1e-9 {
+		t.Fatalf("XL = %v violates its lower bound 2", byName["XL"])
+	}
+	if byName["XU"] > 3+1e-9 {
+		t.Fatalf("XU = %v violates its upper bound 3", byName["XU"])
+	}
+	if byName["XM"] > 1+1e-9 {
+		t.Fatalf("XM = %v violates its upper bound 1", byName["XM"])
+	}
+	if got := f.Objective(sol); !testutil.Near(got, 6.55, 1e-7) {
+		t.Fatalf("objective = %v, want 6.55 (x = %v)", got, byName)
+	}
+	if !testutil.Near(byName["XF"], 5.5, 1e-7) {
+		t.Fatalf("XF = %v, want 5.5", byName["XF"])
+	}
+	// The cover row must hold in the original space.
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if s < 10-1e-7 {
+		t.Fatalf("cover row violated: sum = %v", s)
+	}
+}
+
+// TestMPSFreeVariableGoesNegative pins the FR split: an unconstrained-
+// below variable must be able to take a negative optimal value, and
+// Values must undo the split.
+func TestMPSFreeVariableGoesNegative(t *testing.T) {
+	// min y  s.t.  y >= -5 written as -y <= 5, y free -> y = -5.
+	src := `
+NAME
+ROWS
+ N  COST
+ L  FLOOR
+COLUMNS
+    Y         COST      1.0   FLOOR     -1.0
+RHS
+    RHS       FLOOR     5.0
+BOUNDS
+ FR BND       Y
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if got := f.Value(sol, 0); !testutil.Near(got, -5, 1e-9) {
+		t.Fatalf("y = %v, want -5", got)
+	}
+	if got := f.Objective(sol); !testutil.Near(got, -5, 1e-9) {
+		t.Fatalf("objective = %v, want -5", got)
+	}
+}
+
+// TestMPSRanges checks the RANGES expansion for every row sense.
+func TestMPSRanges(t *testing.T) {
+	// COST = x; ranged rows force 2 <= x <= 4 from an E row at 2 with
+	// range 2, and the optimum sits at the lower edge x = 2.
+	src := `
+NAME          RANGED
+ROWS
+ N  COST
+ E  BAND
+COLUMNS
+    X         COST      1.0   BAND      1.0
+RHS
+    RHS       BAND      2.0
+RANGES
+    RNG       BAND      2.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !testutil.Near(f.Objective(sol), 2, 1e-9) {
+		t.Fatalf("status %v objective %v, want optimal 2", sol.Status, f.Objective(sol))
+	}
+	// Maximising the same program must hit the upper edge x = 4: the E
+	// row with range r>0 spans [rhs, rhs+r].
+	src2 := strings.Replace(src, "NAME          RANGED", "NAME          RANGED\nOBJSENSE\n    MAX", 1)
+	f2, err := ReadMPS(strings.NewReader(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, err := f2.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Optimal || !testutil.Near(f2.Objective(sol2), 4, 1e-9) {
+		t.Fatalf("max: status %v objective %v, want optimal 4", sol2.Status, f2.Objective(sol2))
+	}
+}
+
+// TestMPSObjectiveConstant pins the convention that an RHS entry on
+// the objective row is the negated constant term.
+func TestMPSObjectiveConstant(t *testing.T) {
+	src := `
+NAME
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    X         COST      1.0   R1        1.0
+RHS
+    RHS       R1        3.0   COST      -10.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// min x + 10 with x >= 3 -> 13.
+	if got := f.Objective(sol); !testutil.Near(got, 13, 1e-9) {
+		t.Fatalf("objective = %v, want 13", got)
+	}
+}
+
+// TestMPSInfeasibleBox: an UP bound below the LO bound must solve to
+// Infeasible, the correct verdict for an empty box.
+func TestMPSInfeasibleBox(t *testing.T) {
+	src := `
+NAME
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    X         COST      1.0   R1        1.0
+RHS
+    RHS       R1        1.0
+BOUNDS
+ LO BND       X         5.0
+ UP BND       X         2.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+}
+
+// TestMPSErrors pins the reader's rejection of malformed and
+// unsupported input.
+func TestMPSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no objective row": `
+ROWS
+ G  R1
+ENDATA
+`,
+		"unknown row in COLUMNS": `
+ROWS
+ N  COST
+COLUMNS
+    X         NOPE      1.0
+ENDATA
+`,
+		"integer marker": `
+ROWS
+ N  COST
+COLUMNS
+    M1        'MARKER'  'INTORG'
+ENDATA
+`,
+		"integer bound": `
+ROWS
+ N  COST
+COLUMNS
+    X         COST      1.0
+BOUNDS
+ BV BND       X
+ENDATA
+`,
+		"bad coefficient": `
+ROWS
+ N  COST
+COLUMNS
+    X         COST      twelve
+ENDATA
+`,
+		"unknown section": `
+QSECTION
+ENDATA
+`,
+		"ranges on objective": `
+ROWS
+ N  COST
+COLUMNS
+    X         COST      1.0
+RANGES
+    RNG       COST      1.0
+ENDATA
+`,
+	}
+	for name, src := range cases {
+		if _, err := ReadMPS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+// TestWriteMPSRoundTrip writes random models out and reads them back,
+// asserting the round-tripped program solves to the same status and
+// objective, with matching variable values in original space.
+func TestWriteMPSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		var m *Model
+		if trial%2 == 0 {
+			m = randomPackingModel(rng)
+		} else {
+			m = randomCoveringModel(rng)
+		}
+		want, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMPS(&buf, m, "RT"); err != nil {
+			t.Fatalf("trial %d write: %v", trial, err)
+		}
+		f, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d read back: %v\n%s", trial, err, buf.String())
+		}
+		got, err := f.Model.Solve()
+		if err != nil {
+			t.Fatalf("trial %d re-solve: %v", trial, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v after round trip, want %v", trial, got.Status, want.Status)
+		}
+		if want.Status == Optimal && !testutil.Near(f.Objective(got), want.Objective, 1e-7) {
+			t.Fatalf("trial %d: objective %v after round trip, want %v", trial, f.Objective(got), want.Objective)
+		}
+	}
+}
+
+// TestWriteMPSCoalescesDuplicates: a row built with duplicate terms
+// must be written with one summed coefficient per (row, column) pair.
+func TestWriteMPSCoalescesDuplicates(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(LE, 6, Term{x, 1}, Term{x, 2})
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, m, "DUP"); err != nil {
+		t.Fatal(err)
+	}
+	// ROWS entry + one coalesced COLUMNS entry + RHS entry = 3 mentions.
+	if n := strings.Count(buf.String(), "R0000001"); n != 3 {
+		t.Fatalf("row mentioned %d times, want 3 (no duplicate COLUMNS entries):\n%s", n, buf.String())
+	}
+	f, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Model.Maximize()
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Near(f.Values(sol)[0], 2, 1e-9) { // max x s.t. 3x <= 6
+		t.Fatalf("x = %v, want 2", f.Values(sol)[0])
+	}
+}
+
+// TestMPSNamelessRHS accepts RHS/RANGES lines without the optional
+// set-name token, as written by several tools.
+func TestMPSNamelessRHS(t *testing.T) {
+	src := `
+NAME
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    X         COST      1.0   R1        1.0
+RHS
+    R1        3.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Near(f.Objective(sol), 3, 1e-9) {
+		t.Fatalf("objective = %v, want 3", f.Objective(sol))
+	}
+}
+
+// TestMPSRowDual maps duals back through the lowering: a shifted
+// variable changes right-hand sides but not dual values.
+func TestMPSRowDual(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 6, x >= 4 (as a LO bound). y is cheaper,
+	// so it fills the residual cover: x = 4 (at its bound), y = 2, and
+	// the cover row's dual is y's cost, 2.
+	src := `
+NAME
+ROWS
+ N  COST
+ G  COVER
+COLUMNS
+    X         COST      3.0   COVER     1.0
+    Y         COST      2.0   COVER     1.0
+RHS
+    RHS       COVER     6.0
+BOUNDS
+ LO BND       X         4.0
+ENDATA
+`
+	f, err := ReadMPS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := f.Model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Values(sol)
+	if !testutil.Near(x[0], 4, 1e-9) || !testutil.Near(x[1], 2, 1e-9) {
+		t.Fatalf("x = %v, want [4 2]", x)
+	}
+	if d := f.RowDual(sol, 0); !testutil.Near(d, 2, 1e-9) {
+		t.Fatalf("cover dual = %v, want 2", d)
+	}
+	if got := f.Objective(sol); !testutil.Near(got, 16, 1e-9) {
+		t.Fatalf("objective = %v, want 16", got)
+	}
+}
+
+// TestMPSLargeValueParsing guards the %.17g writer round trip at full
+// float64 precision.
+func TestMPSLargeValueParsing(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(math.Pi, "x")
+	m.AddRow(GE, math.Sqrt2, Term{x, 1.0 / 3.0})
+	var buf bytes.Buffer
+	if err := WriteMPS(&buf, m, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadMPS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Model.rows[0].terms[0].Coef; got != 1.0/3.0 {
+		t.Fatalf("coefficient %v survived as %v", 1.0/3.0, got)
+	}
+	if got := f.Model.rows[0].rhs; got != math.Sqrt2 {
+		t.Fatalf("rhs %v survived as %v", math.Sqrt2, got)
+	}
+}

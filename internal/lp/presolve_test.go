@@ -1,0 +1,502 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// solveBoth solves the model with presolve off and on (fresh
+// workspaces) and checks the two agree on status and, when optimal, on
+// the objective; it returns both solutions plus the presolve-on
+// workspace for stats assertions.
+func solveBoth(t *testing.T, m *Model) (off, on *Solution, ws *Workspace) {
+	t.Helper()
+	m.SetPresolve(false)
+	var err error
+	off, err = m.SolveWith(NewWorkspace())
+	if err != nil {
+		t.Fatalf("no-presolve solve: %v", err)
+	}
+	m.SetPresolve(true)
+	ws = NewWorkspace()
+	on, err = m.SolveWith(ws)
+	if err != nil {
+		t.Fatalf("presolved solve: %v", err)
+	}
+	if off.Status != on.Status {
+		t.Fatalf("status mismatch: no-presolve %v, presolved %v", off.Status, on.Status)
+	}
+	if off.Status == Optimal && !testutil.Near(off.Objective, on.Objective, 1e-7) {
+		t.Fatalf("objective mismatch: no-presolve %v, presolved %v", off.Objective, on.Objective)
+	}
+	return off, on, ws
+}
+
+// TestPresolveSingletonEQFixDual pins the fix-variable reduction and
+// its dual reconstruction: x fixed by an = singleton, the covering row
+// shifted away, everything solved by presolve alone.
+func TestPresolveSingletonEQFixDual(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(2, "x")
+	y := m.AddVar(3, "y")
+	m.AddRow(EQ, 4, Term{x, 1})
+	m.AddRow(GE, 6, Term{x, 1}, Term{y, 1})
+	_, sol, ws := solveBoth(t, m)
+	if !approx(sol.X[x], 4, 1e-9) || !approx(sol.X[y], 2, 1e-9) {
+		t.Errorf("X = %v, want [4 2]", sol.X)
+	}
+	if !approx(sol.Objective, 14, 1e-9) {
+		t.Errorf("objective = %v, want 14", sol.Objective)
+	}
+	// Reconstructed duals: y_1 = 3 from y's reduced cost, then the = row
+	// prices x at zero: y_0 = 2 - 3 = -1. Strong duality holds.
+	if !approx(sol.Dual[1], 3, 1e-9) || !approx(sol.Dual[0], -1, 1e-9) {
+		t.Errorf("Dual = %v, want [-1 3]", sol.Dual)
+	}
+	checkPrimalFeasible(t, m, sol.X)
+	checkStrongDuality(t, m, sol)
+	if st := ws.Stats(); st.PresolveRows != 2 || st.PresolveCols != 2 {
+		t.Errorf("presolve stats = %+v, want both rows removed and both cols removed", st)
+	}
+	// The whole model dissolved: the simplex never ran an iteration.
+	if sol.Iterations != 0 {
+		t.Errorf("iterations = %d, want 0 (model fully presolved)", sol.Iterations)
+	}
+	if sol.Basis.Empty() {
+		t.Fatalf("postsolved basis is empty")
+	}
+}
+
+// TestPresolveLowerBoundShift pins the bound-tightening shift: a >=
+// singleton becomes a variable shift and the row's dual comes back
+// from the shifted variable's reduced cost.
+func TestPresolveLowerBoundShift(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(GE, 5, Term{x, 1})
+	_, sol, _ := solveBoth(t, m)
+	if !approx(sol.X[x], 5, 1e-9) || !approx(sol.Objective, 5, 1e-9) {
+		t.Errorf("X=%v obj=%v, want x=5 obj=5", sol.X, sol.Objective)
+	}
+	if !approx(sol.Dual[0], 1, 1e-9) {
+		t.Errorf("Dual = %v, want [1]", sol.Dual)
+	}
+	checkStrongDuality(t, m, sol)
+}
+
+// TestPresolveZeroUpperBound pins the near-zero upper-bound fix and
+// its sign-clamped dual: min -x subject to x <= 0 must report x = 0
+// with the <= row's dual at -1, not a sign-violating +1.
+func TestPresolveZeroUpperBound(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(-1, "x")
+	m.AddRow(LE, 0, Term{x, 1})
+	_, sol, _ := solveBoth(t, m)
+	if !approx(sol.X[x], 0, 1e-9) || !approx(sol.Objective, 0, 1e-9) {
+		t.Errorf("X=%v obj=%v, want x=0 obj=0", sol.X, sol.Objective)
+	}
+	checkStrongDuality(t, m, sol)
+}
+
+// TestPresolveFreeSingletonColumn pins the zero-cost absorber: the
+// costless surplus variable eats its >= row, the remaining variable
+// becomes an empty column fixed at zero, and postsolve rebuilds the
+// absorber's value from the row snapshot.
+func TestPresolveFreeSingletonColumn(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(0, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow(GE, 3, Term{x, 1}, Term{y, 1})
+	_, sol, ws := solveBoth(t, m)
+	if !approx(sol.X[x], 3, 1e-9) || !approx(sol.X[y], 0, 1e-9) {
+		t.Errorf("X = %v, want [3 0]", sol.X)
+	}
+	checkPrimalFeasible(t, m, sol.X)
+	checkStrongDuality(t, m, sol)
+	if st := ws.Stats(); st.PresolveRows != 1 || st.PresolveCols != 2 {
+		t.Errorf("presolve stats = %+v, want 1 row and 2 cols removed", st)
+	}
+}
+
+// TestPresolveSubstEQ pins the singleton-column substitution out of an
+// = row: the row survives as the inequality keeping the substituted
+// variable non-negative, and its dual gains the c_j/a correction.
+func TestPresolveSubstEQ(t *testing.T) {
+	m := NewModel()
+	s := m.AddVar(2, "s")
+	x := m.AddVar(1, "x")
+	m.AddRow(EQ, 5, Term{s, 1}, Term{x, 1})
+	m.AddRow(LE, 3, Term{x, 1})
+	_, sol, _ := solveBoth(t, m)
+	// min 2s + x with s = 5 - x: objective 10 - x, so x runs to its
+	// upper bound 3 and s picks up the remainder.
+	if !approx(sol.X[x], 3, 1e-9) || !approx(sol.X[s], 2, 1e-9) {
+		t.Errorf("X = %v, want [2 3]", sol.X)
+	}
+	if !approx(sol.Objective, 7, 1e-9) {
+		t.Errorf("objective = %v, want 7", sol.Objective)
+	}
+	checkPrimalFeasible(t, m, sol.X)
+	checkStrongDuality(t, m, sol)
+}
+
+// TestPresolveDuplicateAndRedundantRows pins duplicate-row merging and
+// zero-RHS >=-row elimination together: the redundant twin drops with
+// dual 0 and the binding copy keeps the tight rhs.
+func TestPresolveDuplicateAndRedundantRows(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow(GE, 0, Term{x, 1}, Term{y, 1}) // redundant under x,y >= 0
+	m.AddRow(GE, 2, Term{x, 1}, Term{y, 1}) // binding
+	m.AddRow(GE, 1, Term{x, 1}, Term{y, 1}) // duplicate, dominated
+	_, sol, ws := solveBoth(t, m)
+	if !approx(sol.Objective, 2, 1e-9) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+	checkPrimalFeasible(t, m, sol.X)
+	checkStrongDuality(t, m, sol)
+	if st := ws.Stats(); st.PresolveRows < 2 {
+		t.Errorf("presolve stats = %+v, want at least 2 rows removed", st)
+	}
+}
+
+// TestPresolveDetectsStatuses pins presolve-detected infeasibility and
+// unboundedness, which short-circuit the simplex entirely.
+func TestPresolveDetectsStatuses(t *testing.T) {
+	t.Run("empty row contradiction", func(t *testing.T) {
+		m := NewModel()
+		m.AddVar(1, "x")
+		m.AddRow(GE, 1) // 0 >= 1
+		sol, err := m.Solve()
+		if err != nil || sol.Status != Infeasible {
+			t.Fatalf("got %+v (err %v), want infeasible", sol, err)
+		}
+	})
+	t.Run("duplicate equalities disagree", func(t *testing.T) {
+		m := NewModel()
+		x := m.AddVar(1, "x")
+		y := m.AddVar(1, "y")
+		m.AddRow(EQ, 1, Term{x, 1}, Term{y, 2})
+		m.AddRow(EQ, 3, Term{x, 1}, Term{y, 2})
+		sol, err := m.Solve()
+		if err != nil || sol.Status != Infeasible {
+			t.Fatalf("got %+v (err %v), want infeasible", sol, err)
+		}
+	})
+	t.Run("unconstrained column ray", func(t *testing.T) {
+		m := NewModel()
+		m.Maximize()
+		m.AddVar(1, "x")
+		sol, err := m.Solve()
+		if err != nil || sol.Status != Unbounded {
+			t.Fatalf("got %+v (err %v), want unbounded", sol, err)
+		}
+	})
+	t.Run("infeasibility beats an unconstrained ray", func(t *testing.T) {
+		// Fuzz-found (FuzzSolveMPS): a column whose duplicate terms
+		// cancel to zero looks like an improving free ray, but the rest
+		// of the model is infeasible — and unboundedness is only a valid
+		// verdict on a feasible model. Presolve used to answer Unbounded
+		// the moment it saw the empty column, before discovering the
+		// contradiction.
+		m := NewModel()
+		free := m.AddVar(-10, "free")
+		x := m.AddVar(0, "x")
+		s := m.AddVar(0, "s")
+		m.AddRow(EQ, 0, Term{free, 1}, Term{free, -1}) // coalesces to 0 = 0
+		m.AddRow(EQ, 0, Term{x, 1}, Term{s, 1})        // x = s = 0
+		m.AddRow(GE, 1, Term{x, 1})                    // contradicts x = 0
+		sol, err := m.Solve()
+		if err != nil || sol.Status != Infeasible {
+			t.Fatalf("got %+v (err %v), want infeasible", sol, err)
+		}
+		// The mirror case stays Unbounded: same ray, feasible remainder.
+		m2 := NewModel()
+		m2.AddVar(-10, "free")
+		x2 := m2.AddVar(0, "x")
+		m2.AddRow(GE, 1, Term{x2, 1})
+		sol2, err := m2.Solve()
+		if err != nil || sol2.Status != Unbounded {
+			t.Fatalf("got %+v (err %v), want unbounded", sol2, err)
+		}
+	})
+}
+
+// addReducibleStructure grafts presolve-bait onto a model: a duplicate
+// row, a redundant zero-RHS >= row, an empty row, a fixed variable
+// wired into an existing row, and a lower-bounded variable. The model
+// keeps the same optimum over the original variables by construction
+// only where the additions are redundant; the comparison oracle is the
+// no-presolve solve of the *same* grown model, so every addition is
+// fair game.
+func addReducibleStructure(rng *rand.Rand, m *Model) {
+	if len(m.rows) > 0 {
+		// Exact duplicate of a random row (same term order).
+		src := m.rows[rng.Intn(len(m.rows))]
+		m.rows = append(m.rows, row{sense: src.sense, rhs: src.rhs, terms: append([]Term(nil), src.terms...)})
+	}
+	// Redundant sign row over a random subset.
+	var terms []Term
+	for j := 0; j < m.NumVars(); j++ {
+		if rng.Float64() < 0.5 {
+			terms = append(terms, Term{Var: j, Coef: rng.Float64()})
+		}
+	}
+	if len(terms) > 0 {
+		m.AddRow(GE, 0, terms...)
+	}
+	m.AddRow(LE, 1+rng.Float64()) // empty row, trivially true
+	// A variable fixed by an = singleton, feeding an existing row.
+	if len(m.rows) > 0 {
+		r := rng.Intn(len(m.rows))
+		z := m.AddColumn(rng.Float64()*2-1, "", RowCoef{Row: r, Coef: rng.Float64()})
+		m.AddRow(EQ, rng.Float64()*2, Term{z, 1})
+	}
+	// A lower-bounded variable with positive cost (bounded).
+	w := m.AddVar(0.5+rng.Float64(), "")
+	m.AddRow(GE, rng.Float64()*3, Term{w, 1})
+}
+
+// TestPresolveEquivalenceRandom cross-checks presolve against the raw
+// simplex over random models salted with reducible structure: same
+// status, same objective, and the postsolved solution must be primal
+// feasible with valid duals for the original program.
+func TestPresolveEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sawReduction := false
+	for trial := 0; trial < 60; trial++ {
+		var m *Model
+		if trial%2 == 0 {
+			m = randomPackingModel(rng)
+		} else {
+			m = randomCoveringModel(rng)
+		}
+		addReducibleStructure(rng, m)
+		_, on, ws := solveBoth(t, m)
+		if t.Failed() {
+			t.Fatalf("trial %d diverged", trial)
+		}
+		if on.Status != Optimal {
+			continue
+		}
+		checkPrimalFeasible(t, m, on.X)
+		checkStrongDuality(t, m, on)
+		if st := ws.Stats(); st.PresolveRows > 0 || st.PresolveCols > 0 {
+			sawReduction = true
+		}
+	}
+	if !sawReduction {
+		t.Fatalf("no trial triggered a presolve reduction; the bait generator is broken")
+	}
+}
+
+// TestPresolvePostsolvedBasisWarmStarts checks the acceptance
+// criterion that matters for the serving stack: the basis coming out
+// of postsolve must be usable by SolveFrom on the original, since the
+// steady-state masters capture it, grow the model, and re-solve warm.
+func TestPresolvePostsolvedBasisWarmStarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warmHits := 0
+	for trial := 0; trial < 40; trial++ {
+		m := randomCoveringModel(rng)
+		addReducibleStructure(rng, m)
+		ws := NewWorkspace()
+		sol, err := m.SolveWith(ws)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		if sol.Basis.Empty() {
+			t.Fatalf("trial %d: optimal presolved solve returned an empty basis", trial)
+		}
+		// Grow the model with a cutting row and re-solve warm.
+		var terms []Term
+		for j := 0; j < m.NumVars(); j++ {
+			terms = append(terms, Term{Var: j, Coef: 1})
+		}
+		m.AddRow(GE, 1.05*sum(sol.X), terms...)
+		warm, err := m.SolveFrom(ws, sol.Basis)
+		if err != nil {
+			t.Fatalf("trial %d: warm re-solve: %v", trial, err)
+		}
+		m.SetPresolve(false)
+		cold, err := m.SolveWith(NewWorkspace())
+		if err != nil {
+			t.Fatalf("trial %d: cold oracle: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold %v", trial, warm.Status, cold.Status)
+		}
+		if cold.Status == Optimal {
+			if !testutil.Near(warm.Objective, cold.Objective, 1e-6) {
+				t.Fatalf("trial %d: warm objective %v, cold %v", trial, warm.Objective, cold.Objective)
+			}
+			checkPrimalFeasible(t, m, warm.X)
+		}
+		if warm.WarmStarted {
+			warmHits++
+		}
+	}
+	// The warm path may legitimately fall back on stale numerics, but if
+	// it never sticks, postsolve is producing junk bases.
+	if warmHits == 0 {
+		t.Fatalf("no postsolved basis ever warm-started")
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// TestPresolveOptOut checks SetPresolve(false) really bypasses the
+// reductions: the workspace records no presolve activity.
+func TestPresolveOptOut(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(GE, 5, Term{x, 1})
+	m.SetPresolve(false)
+	ws := NewWorkspace()
+	sol, err := m.SolveWith(ws)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %+v err %v", sol, err)
+	}
+	if st := ws.Stats(); st.PresolveRows != 0 || st.PresolveCols != 0 {
+		t.Errorf("opt-out still presolved: %+v", st)
+	}
+	if !approx(sol.Objective, 5, 1e-9) {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+}
+
+// TestPresolveIterationReduction demonstrates the point of the pass on
+// a steady-state-shaped program: redundant zero-RHS rows and fixed
+// variables cost the raw simplex pivots that the presolved solve never
+// performs.
+func TestPresolveIterationReduction(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		n := 20
+		for j := 0; j < n; j++ {
+			m.AddVar(1+float64(j%3), "")
+		}
+		for j := 0; j < n; j++ {
+			m.AddRow(GE, 0, Term{j, 1}, Term{(j + 1) % n, 1}) // redundant
+		}
+		for j := 0; j < n/2; j++ {
+			m.AddRow(EQ, float64(j%4), Term{j, 1}) // fixes half the vars
+		}
+		var terms []Term
+		for j := n / 2; j < n; j++ {
+			terms = append(terms, Term{Var: j, Coef: 1})
+		}
+		m.AddRow(GE, 7, terms...)
+		return m
+	}
+	mOff := build()
+	mOff.SetPresolve(false)
+	off, err := mOff.SolveWith(NewWorkspace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOn := build()
+	ws := NewWorkspace()
+	on, err := mOn.SolveWith(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Near(off.Objective, on.Objective, 1e-9) {
+		t.Fatalf("objective mismatch: %v vs %v", off.Objective, on.Objective)
+	}
+	st := ws.Stats()
+	if st.PresolveRows < 20 || st.PresolveCols < 10 {
+		t.Errorf("presolve removed %d rows / %d cols, want >= 20 / >= 10", st.PresolveRows, st.PresolveCols)
+	}
+	if on.Iterations > off.Iterations {
+		t.Errorf("presolved solve used %d iterations, raw used %d — presolve made it worse", on.Iterations, off.Iterations)
+	}
+	t.Logf("iterations: raw=%d presolved=%d; removed rows=%d cols=%d",
+		off.Iterations, on.Iterations, st.PresolveRows, st.PresolveCols)
+}
+
+// TestPresolveMaximizeModels runs the reduction stack over maximising
+// programs: the min-normalised decisions must not leak the wrong sign
+// into values or duals.
+func TestPresolveMaximizeModels(t *testing.T) {
+	m := NewModel()
+	m.Maximize()
+	x := m.AddVar(3, "x")
+	y := m.AddVar(1, "y")
+	m.AddRow(EQ, 2, Term{x, 1})             // fixes x = 2
+	m.AddRow(LE, 8, Term{x, 2}, Term{y, 1}) // y <= 4 after the fix
+	m.AddRow(LE, 8, Term{x, 2}, Term{y, 1}) // duplicate
+	_, sol, _ := solveBoth(t, m)
+	if !approx(sol.X[x], 2, 1e-9) || !approx(sol.X[y], 4, 1e-9) {
+		t.Errorf("X = %v, want [2 4]", sol.X)
+	}
+	if !approx(sol.Objective, 10, 1e-9) {
+		t.Errorf("objective = %v, want 10", sol.Objective)
+	}
+	checkPrimalFeasible(t, m, sol.X)
+	checkStrongDuality(t, m, sol)
+	// Max-model convention: the binding <= row prices y at +1.
+	if sol.Dual[1] < -dualTol {
+		t.Errorf("dual[1] = %v, want >= 0 for a binding <= row of a max model", sol.Dual[1])
+	}
+}
+
+// TestPresolveShiftInfeasibleTail checks a shift interacting with a
+// later contradiction: x >= 5 shifted, then x <= 3 becomes an empty
+// row with a negative rhs — infeasible either way.
+func TestPresolveShiftInfeasibleTail(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x")
+	m.AddRow(GE, 5, Term{x, 1})
+	m.AddRow(LE, 3, Term{x, 1})
+	off, on, _ := solveBoth(t, m)
+	if off.Status != Infeasible || on.Status != Infeasible {
+		t.Fatalf("statuses %v / %v, want infeasible", off.Status, on.Status)
+	}
+}
+
+// TestPresolveShiftDualThroughSubstEQ is the decoded form of a
+// fuzz-found duality gap (FuzzSolveMPS corpus 824a622742f18e2f). The
+// demand row's variable gets shifted, then substituted out of its
+// balance equation; reconstructing the shift's dual requires knowing
+// whether the shifted variable ended up basic, which postsolve reads
+// from the reduced basis — and the reduced basis can hold a row's
+// slack at a *different* row's basis position. The scatter used to
+// re-label such a unit column with the position's row, which cascaded
+// into a zero dual on the demand row (y.b = -50 instead of 300).
+func TestPresolveShiftDualThroughSubstEQ(t *testing.T) {
+	m := NewModel()
+	x1 := m.AddVar(0, "x1")
+	x00 := m.AddVar(0, "x00")
+	i1 := m.AddVar(5, "i1")
+	x0 := m.AddVar(7, "x0")
+	s2 := m.AddVar(0, "s2")
+	m.AddRow(EQ, 0, Term{x1, 1}, Term{i1, -1}, Term{x0, 1})   // BAL1
+	m.AddRow(EQ, 0, Term{x00, 1}, Term{i1, 1}, Term{s2, -10}) // BAL2
+	m.AddRow(LE, 0)                                           // empty
+	m.AddRow(LE, 10, Term{x00, 1})                            // CAP2
+	m.AddRow(GE, 10, Term{x1, 1})                             // DEM1
+	m.AddRow(GE, 7, Term{s2, 1})                              // DEM2
+	off, on, _ := solveBoth(t, m)
+	if !approx(on.Objective, 300, 1e-9) {
+		t.Fatalf("objective = %v, want 300", on.Objective)
+	}
+	checkStrongDuality(t, m, off)
+	checkStrongDuality(t, m, on)
+	// The demand row DEM2 is what forces all the flow: its dual is 50.
+	if !approx(on.Dual[5], 50, 1e-7) {
+		t.Errorf("presolved dual[DEM2] = %v, want 50", on.Dual[5])
+	}
+}

@@ -197,6 +197,72 @@ func TestPropertyCoveringModels(t *testing.T) {
 	}
 }
 
+// TestPropertyMaxDualsColdWarmPresolved property-tests the documented
+// dual-sign convention on maximisation models (y >= 0 for <= rows,
+// objective negated back) across all three solve paths: the raw cold
+// simplex, the presolved default, and a warm re-solve of a grown
+// model. Only minimisation duals were property-tested before, so a
+// sign slip on the max-negation path — in extract, in postsolve, or in
+// the warm dual cleanup — had no coverage.
+func TestPropertyMaxDualsColdWarmPresolved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	warmHits := 0
+	for trial := 0; trial < 40; trial++ {
+		m := randomPackingModel(rng)
+
+		// Raw cold path (presolve bypassed).
+		m.SetPresolve(false)
+		cold, err := m.SolveWith(NewWorkspace())
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		if cold.Status != Optimal {
+			t.Fatalf("trial %d cold: status %v", trial, cold.Status)
+		}
+		checkPrimalFeasible(t, m, cold.X)
+		checkStrongDuality(t, m, cold)
+
+		// Presolved default path.
+		m.SetPresolve(true)
+		ws := NewWorkspace()
+		pre, err := m.SolveWith(ws)
+		if err != nil {
+			t.Fatalf("trial %d presolved: %v", trial, err)
+		}
+		if pre.Status != Optimal {
+			t.Fatalf("trial %d presolved: status %v", trial, pre.Status)
+		}
+		checkPrimalFeasible(t, m, pre.X)
+		checkStrongDuality(t, m, pre)
+		if !testutil.Near(cold.Objective, pre.Objective, dualTol) {
+			t.Fatalf("trial %d: cold objective %v, presolved %v", trial, cold.Objective, pre.Objective)
+		}
+
+		// Warm path: tighten the program with an appended row and
+		// re-solve from the captured basis.
+		var terms []Term
+		for j := 0; j < m.NumVars(); j++ {
+			terms = append(terms, Term{Var: j, Coef: 1})
+		}
+		m.AddRow(LE, 0.25+0.5*sum(pre.X), terms...)
+		warm, err := m.SolveFrom(ws, pre.Basis)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if warm.Status != Optimal {
+			t.Fatalf("trial %d warm: status %v", trial, warm.Status)
+		}
+		checkPrimalFeasible(t, m, warm.X)
+		checkStrongDuality(t, m, warm)
+		if warm.WarmStarted {
+			warmHits++
+		}
+	}
+	if warmHits == 0 {
+		t.Fatal("no trial exercised the warm path; the dual check never ran warm")
+	}
+}
+
 // TestPathologicalStatuses pins the Infeasible/Unbounded verdicts on
 // hand-built degenerate programs.
 func TestPathologicalStatuses(t *testing.T) {

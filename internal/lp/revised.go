@@ -55,6 +55,8 @@ type WorkspaceStats struct {
 	Refactorizations int // mid-solve rebuilds: eta-file overflow or detected drift
 	Iterations       int // primal simplex pivots
 	DualIterations   int // dual simplex pivots
+	PresolveRows     int // constraint rows removed by presolve, cumulative
+	PresolveCols     int // columns removed by presolve, cumulative
 }
 
 // Workspace owns every scratch allocation of the revised simplex — the
@@ -95,6 +97,9 @@ type Workspace struct {
 	// Compilation scratch.
 	stamp []int32
 	slot  []int32
+
+	// Presolve arena (presolve.go), reused across solves.
+	ps psState
 
 	phase      int
 	improveEps float64
@@ -850,7 +855,7 @@ func (ws *Workspace) exportBasis() Basis {
 	for i, code := range ws.basis[:ws.m] {
 		cols[i] = encodeBasisCol(code, ws.n)
 	}
-	return Basis{cols: cols}
+	return Basis{cols: cols, valid: true}
 }
 
 // solveCold runs the classic two-phase solve from the diagonal unit
@@ -963,7 +968,11 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool, err error) {
 	k := len(basis.cols)
 	mm := len(mdl.rows)
-	if k == 0 || k > mm {
+	// k == 0 with a valid basis is the legitimate optimal basis of a
+	// 0-row model (a rowless column-generation master): it round-trips
+	// as a warm start, with any appended inequality rows joining on
+	// their slacks exactly like rows appended to a non-trivial basis.
+	if !basis.valid || k > mm {
 		return nil, false, nil
 	}
 	// Appended rows join the basis on their slack; equality rows have
@@ -1059,8 +1068,15 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 	iters, status := ws.primal(math.Inf(-1))
 	sol.Iterations += iters
 	ws.stats.Iterations += iters
+	if status == statusIterLimit {
+		// A degenerate plateau trapped the warm primal. Report it as
+		// ErrIterationLimit so SolveFrom runs the full cold ladder —
+		// cold start plus the perturbed retry — rather than giving up
+		// where the identical cold call would have succeeded.
+		return nil, false, fmt.Errorf("%w (warm, m=%d n=%d)", ErrIterationLimit, m, n)
+	}
 	if status != statusOptimal || !ws.artificialsClean() {
-		// Unbounded, stalled, or a regrown artificial on the warm path:
+		// Unbounded or a regrown artificial on the warm path:
 		// re-derive the verdict from a trustworthy cold start.
 		return nil, false, nil
 	}

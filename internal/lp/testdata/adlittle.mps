@@ -1,0 +1,23 @@
+* ADLITTLE-style routing LP with a RANGES section.
+* Hand-written for this repo in the shape of netlib's ADLITTLE (mixed
+* senses, a ranged row); NOT the netlib instance.
+* FLOW with range 3.0 means 5 <= XA - XC <= 8.
+NAME          ADLITTLE-STYLE
+ROWS
+ N  COST
+ L  CAPA
+ G  DEMB
+ E  FLOW
+COLUMNS
+    XA        COST      3.0   CAPA      1.0
+    XA        FLOW      1.0
+    XB        COST      2.0   CAPA      1.0
+    XB        DEMB      1.0
+    XC        COST      4.0   DEMB      1.0
+    XC        FLOW      -1.0
+RHS
+    RHS       CAPA      20.0  DEMB      15.0
+    RHS       FLOW      5.0
+RANGES
+    RNG       FLOW      3.0
+ENDATA

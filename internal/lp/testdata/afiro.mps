@@ -1,0 +1,30 @@
+* AFIRO-style two-period production/inventory LP.
+* Hand-written for this repo in the shape of netlib's AFIRO (small
+* mixed E/L/G model with balance equations); NOT the netlib instance.
+* Optimum by hand: sell S1 at its net margin first (P1=40, S1=40),
+* then S2 from period-2 capacity (P2=50, S2=50), no inventory.
+* Objective = 2*40 + 3*50 + 0 - 5*40 - 4*50 = -170.
+NAME          AFIRO-STYLE
+ROWS
+ N  COST
+ E  BAL1
+ E  BAL2
+ L  CAP1
+ L  CAP2
+ G  DEM1
+ G  DEM2
+COLUMNS
+    P1        COST      2.0   BAL1      1.0
+    P1        CAP1      1.0
+    P2        COST      3.0   BAL2      1.0
+    P2        CAP2      1.0
+    I1        COST      0.5   BAL1      -1.0
+    I1        BAL2      1.0
+    S1        COST      -5.0  BAL1      -1.0
+    S1        DEM1      1.0
+    S2        COST      -4.0  BAL2      -1.0
+    S2        DEM2      1.0
+RHS
+    RHS       CAP1      40.0  CAP2      50.0
+    RHS       DEM1      10.0  DEM2      30.0
+ENDATA

@@ -1,0 +1,30 @@
+* BLEND-style diet/blending LP exercising the BOUNDS section.
+* Hand-written for this repo in the shape of netlib's BLEND (mixture
+* constraints with general variable bounds); NOT the netlib instance.
+* A has a lower bound, B an upper bound, C a two-sided box, D is free
+* (the reader must split it) with a small cost so the blend total can
+* flex both ways without going unbounded.
+NAME          BLEND-STYLE
+ROWS
+ N  COST
+ G  PROTEIN
+ L  FAT
+ E  TOTAL
+COLUMNS
+    A         COST      1.5   PROTEIN   0.3
+    A         FAT       0.1   TOTAL     1.0
+    B         COST      2.1   PROTEIN   0.5
+    B         FAT       0.2   TOTAL     1.0
+    C         COST      1.8   PROTEIN   0.4
+    C         FAT       0.15  TOTAL     1.0
+    D         COST      0.1   TOTAL     1.0
+RHS
+    RHS       PROTEIN   12.0  FAT       6.0
+    RHS       TOTAL     35.0
+BOUNDS
+ LO BND       A         5.0
+ UP BND       B         20.0
+ LO BND       C         2.0
+ UP BND       C         15.0
+ FR BND       D
+ENDATA

@@ -1,0 +1,25 @@
+* Adversarial: heavily degenerate. The zero right-hand-side cycle
+* Z1..Z4 forces X1 = X2 = X3 = X4 at any optimum (the shape of the
+* steady-state flow LPs, whose hundreds of zero RHS rows trap naive
+* pivoting on degenerate plateaus); the cover row then makes them all
+* 1.0 for an objective of 4.0.
+NAME          DEGEN
+ROWS
+ N  COST
+ G  Z1
+ G  Z2
+ G  Z3
+ G  Z4
+ G  COVER
+COLUMNS
+    X1        COST      1.0   Z1        1.0
+    X1        Z4        -1.0  COVER     1.0
+    X2        COST      1.0   Z2        1.0
+    X2        Z1        -1.0  COVER     1.0
+    X3        COST      1.0   Z3        1.0
+    X3        Z2        -1.0  COVER     1.0
+    X4        COST      1.0   Z4        1.0
+    X4        Z3        -1.0  COVER     1.0
+RHS
+    RHS       COVER     4.0
+ENDATA

@@ -1,0 +1,17 @@
+* Adversarial: duplicate (column,row) pairs split across lines.
+* The same coefficient cell appears twice in COLUMNS (X hits R1 with
+* 1.0 and then 2.0, and its COST entry is split 0.5 + 0.5); MPS
+* semantics sum them, so the effective row is 3X + Y >= 9 with
+* objective X + 2Y. Guards the duplicate-term coalescing paths of
+* the compiled sparse columns and the dense reference alike.
+NAME          DUPTERMS
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    X         COST      0.5   R1        1.0
+    X         COST      0.5   R1        2.0
+    Y         COST      2.0   R1        1.0
+RHS
+    RHS       R1        9.0
+ENDATA

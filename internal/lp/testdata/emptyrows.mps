@@ -1,0 +1,16 @@
+* Adversarial: constraint rows declared in ROWS with no COLUMNS
+* entries. ZERO is the vacuous 0 = 0, SLACKY is 0 <= 5 and NONNEG is
+* 0 >= 0 — all redundant, and presolve must drop them without
+* touching the one real covering row.
+NAME          EMPTYROWS
+ROWS
+ N  COST
+ E  ZERO
+ L  SLACKY
+ G  NONNEG
+ G  REAL
+COLUMNS
+    X         COST      1.0   REAL      2.0
+RHS
+    RHS       SLACKY    5.0   REAL      8.0
+ENDATA

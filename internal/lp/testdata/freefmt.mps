@@ -1,0 +1,19 @@
+* Free-format spacing: ragged indentation and single-space separators
+* that fixed-column readers would reject but whitespace tokenisation
+* accepts. Same tiny program as the TINY unit-test model:
+* min 2x + 3y s.t. x + y >= 4, x <= 3, x - y = 1 -> 9.5.
+NAME FREEFMT
+ROWS
+ N COST
+ G COVER
+ L CAP
+ E TIE
+COLUMNS
+ X COST 2.0 COVER 1.0
+ X CAP 1.0 TIE 1.0
+ Y COST 3.0 COVER 1.0
+ Y TIE -1.0
+RHS
+ RHS COVER 4.0 CAP 3.0
+ RHS TIE 1.0
+ENDATA

@@ -1,0 +1,18 @@
+* Adversarial: infeasible system. The two equalities pin X to both 2
+* and 3; phase 1 cannot drive the artificials out. The extra
+* inequality pair is individually satisfiable so infeasibility is
+* only detectable through the equality clash.
+NAME          INFEAS
+ROWS
+ N  COST
+ E  PIN2
+ E  PIN3
+ L  SOFT
+COLUMNS
+    X         COST      1.0   PIN2      1.0
+    X         PIN3      1.0   SOFT      1.0
+    Y         COST      1.0   SOFT      1.0
+RHS
+    RHS       PIN2      2.0   PIN3      3.0
+    RHS       SOFT      10.0
+ENDATA

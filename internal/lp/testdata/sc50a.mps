@@ -1,0 +1,28 @@
+* SC50A-style chained covering LP.
+* Hand-written for this repo in the shape of netlib's SC50A (sparse
+* staircase of coupled covering rows under a capacity roof); NOT the
+* netlib instance.
+NAME          SC50A-STYLE
+ROWS
+ N  COST
+ G  C1
+ G  C2
+ G  C3
+ G  C4
+ L  ROOF
+COLUMNS
+    Y1        COST      1.0   C1        1.0
+    Y1        ROOF      1.0
+    Y2        COST      1.2   C1        1.0
+    Y2        C2        1.0   ROOF      1.0
+    Y3        COST      0.9   C2        1.0
+    Y3        C3        1.0   ROOF      1.0
+    Y4        COST      1.1   C3        1.0
+    Y4        C4        1.0   ROOF      1.0
+    Y5        COST      1.3   C4        1.0
+    Y5        ROOF      1.0
+RHS
+    RHS       C1        4.0   C2        3.0
+    RHS       C3        5.0   C4        2.0
+    RHS       ROOF      40.0
+ENDATA

@@ -1,0 +1,17 @@
+* Adversarial: unbounded ray. Maximising X with only a floor on X
+* runs off to +infinity; both solvers must report unbounded, not an
+* iteration-limit error or a bogus optimum. Y is a bounded bystander
+* so the ray has to be found among other columns.
+NAME          UNBOUNDED
+OBJSENSE
+    MAX
+ROWS
+ N  COST
+ G  FLOOR
+ L  CAPY
+COLUMNS
+    X         COST      1.0   FLOOR     1.0
+    Y         COST      1.0   CAPY      1.0
+RHS
+    RHS       FLOOR     1.0   CAPY      5.0
+ENDATA
