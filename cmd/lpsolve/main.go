@@ -13,15 +13,19 @@
 //	-q            print only the objective value
 //
 // The exit code encodes the verdict so scripts can branch on it:
-// 0 optimal, 2 infeasible, 3 unbounded, 1 any error (including a
-// -check disagreement).
+//
+//	0  optimal
+//	1  usage or parse error (bad flags, bad arguments, malformed MPS)
+//	2  infeasible
+//	3  unbounded
+//	4  internal error (I/O failure, solver failure, -check disagreement)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"os"
 	"time"
@@ -29,35 +33,72 @@ import (
 	"repro/internal/lp"
 )
 
+// Exit codes: 0 and 2/3 report the solved verdict; 1 and 4 split the
+// failures by whose fault they are — 1 means the invocation or the
+// input text is wrong (fix the command line or the file), 4 means the
+// tool itself failed to produce a verdict (I/O, solver internals, or a
+// -check cross-validation mismatch).
+const (
+	exitOptimal    = 0
+	exitUsage      = 1
+	exitInfeasible = 2
+	exitUnbounded  = 3
+	exitInternal   = 4
+)
+
+const exitCodeTable = `exit codes:
+  0  optimal
+  1  usage or parse error (bad flags, bad arguments, malformed MPS)
+  2  infeasible
+  3  unbounded
+  4  internal error (I/O failure, solver failure, -check disagreement)
+`
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lpsolve: "+format+"\n", args...)
+	os.Exit(code)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("lpsolve: ")
-	check := flag.Bool("check", false, "cross-validate the solution against the dense reference simplex")
-	presolve := flag.Bool("presolve", true, "run presolve reductions before the simplex")
-	vars := flag.Bool("vars", false, "print variable values (original variable space)")
-	duals := flag.Bool("duals", false, "print constraint duals (original row space)")
-	quiet := flag.Bool("q", false, "print only the objective value")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lpsolve [flags] problem.mps")
-		flag.PrintDefaults()
-		os.Exit(1)
+	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
+	check := fs.Bool("check", false, "cross-validate the solution against the dense reference simplex")
+	presolve := fs.Bool("presolve", true, "run presolve reductions before the simplex")
+	vars := fs.Bool("vars", false, "print variable values (original variable space)")
+	duals := fs.Bool("duals", false, "print constraint duals (original row space)")
+	quiet := fs.Bool("q", false, "print only the objective value")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: lpsolve [flags] problem.mps    (\"-\" reads stdin)")
+		fs.PrintDefaults()
+		fmt.Fprint(fs.Output(), exitCodeTable)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(exitOptimal)
+		}
+		// The flag package already printed the complaint and the usage.
+		os.Exit(exitUsage)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(exitUsage)
 	}
 
 	var src io.Reader
-	if name := flag.Arg(0); name == "-" {
+	if name := fs.Arg(0); name == "-" {
 		src = os.Stdin
 	} else {
 		f, err := os.Open(name)
 		if err != nil {
-			log.Fatal(err)
+			fail(exitInternal, "%v", err)
 		}
 		defer f.Close()
 		src = f
 	}
 	mps, err := lp.ReadMPS(src)
 	if err != nil {
-		log.Fatal(err)
+		// Malformed input is the caller's to fix — distinct from the
+		// internal failures below.
+		fail(exitUsage, "%v", err)
 	}
 
 	m := mps.Model
@@ -66,23 +107,23 @@ func main() {
 	start := time.Now()
 	sol, err := m.SolveWith(ws)
 	if err != nil {
-		log.Fatal(err)
+		fail(exitInternal, "%v", err)
 	}
 	elapsed := time.Since(start)
 
 	if *check {
 		ref, err := lp.SolveDense(m)
 		if err != nil {
-			log.Fatalf("dense reference: %v", err)
+			fail(exitInternal, "dense reference: %v", err)
 		}
 		if ref.Status != sol.Status {
-			log.Fatalf("check failed: sparse %v, dense reference %v", sol.Status, ref.Status)
+			fail(exitInternal, "check failed: sparse %v, dense reference %v", sol.Status, ref.Status)
 		}
 		if sol.Status == lp.Optimal {
 			diff := math.Abs(sol.Objective - ref.Objective)
 			scale := math.Max(1, math.Max(math.Abs(sol.Objective), math.Abs(ref.Objective)))
 			if diff > 1e-6*scale {
-				log.Fatalf("check failed: sparse objective %v, dense reference %v", sol.Objective, ref.Objective)
+				fail(exitInternal, "check failed: sparse objective %v, dense reference %v", sol.Objective, ref.Objective)
 			}
 		}
 	}
@@ -95,7 +136,7 @@ func main() {
 	default:
 		name := mps.Name
 		if name == "" {
-			name = flag.Arg(0)
+			name = fs.Arg(0)
 		}
 		fmt.Printf("problem   %s  (%d vars, %d rows as read; %d vars, %d rows lowered)\n",
 			name, mps.NumVars(), mps.NumRows(), m.NumVars(), m.NumRows())
@@ -125,8 +166,8 @@ func main() {
 
 	switch sol.Status {
 	case lp.Infeasible:
-		os.Exit(2)
+		os.Exit(exitInfeasible)
 	case lp.Unbounded:
-		os.Exit(3)
+		os.Exit(exitUnbounded)
 	}
 }

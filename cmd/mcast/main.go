@@ -144,6 +144,9 @@ func runWhatif(p steady.Problem, factorList string) error {
 	fmt.Printf("\nwhat-if: %d scenarios (baseline LB period %.4f, MCPH tree period %.4f)\n",
 		len(rep.Results), rep.Baseline.LB.Period, rep.Baseline.TreePeriod)
 	fmt.Printf("MCPH tree survives %d/%d scenarios\n", rep.Surviving, len(rep.Results))
+	if rep.FastPathScenarios > 0 {
+		fmt.Printf("tree fast path answered %d/%d scenarios\n", rep.FastPathScenarios, len(rep.Results))
+	}
 
 	const top = 5
 	fmt.Println("most critical nodes (throughput delta when failed):")

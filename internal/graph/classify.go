@@ -1,0 +1,168 @@
+package graph
+
+// Topology classification for the steady-state fast paths. On a tree
+// platform the optimal multicast period is combinatorial — every
+// target has a unique source path, so the LP machinery degenerates to
+// a port-occupation scan (Emek–Kutten, "Multicast Communications in
+// Tree Networks with Heterogeneous Capacity Constraints") — and the
+// planners route around the simplex entirely. Classify is the
+// gatekeeper of that routing: it must say ClassTree only when the
+// combinatorial formula is provably the LP optimum, and anything it is
+// not sure about is ClassGeneral (the LP is always correct, only
+// slower), so every structural ambiguity falls back.
+
+// Class is the topology class of a platform's active-edge view rooted
+// at a source node.
+type Class uint8
+
+const (
+	// ClassGeneral is any platform the fast paths make no claim about.
+	ClassGeneral Class = iota
+	// ClassTree means the active subgraph reachable from the root has
+	// tree undirected support with no parallel directed edges: every
+	// reachable node is joined to its BFS parent by at most one edge in
+	// each direction, and no other edges exist between reachable nodes.
+	// Every source->target flow is then forced onto the unique tree
+	// path, which is what makes the combinatorial period exact.
+	ClassTree
+)
+
+// TreeView is the rooted orientation a classification produces: the
+// BFS forest of the active subgraph reachable from Root, plus the
+// class verdict. The slices are owned by the Classifier that produced
+// the view and are only valid until its next Classify call.
+type TreeView struct {
+	Class Class
+	Root  NodeID
+	// ParentEdge maps every node to the edge entering it on its unique
+	// path from Root (-1 for the root itself and for nodes the root
+	// does not reach). Meaningful only when Class is ClassTree.
+	ParentEdge []int
+	// Order lists the nodes reachable from Root in BFS order, root
+	// first. Processing it in reverse visits children before parents,
+	// which is how the rate formulas accumulate subtree target counts
+	// without recursion.
+	Order []NodeID
+}
+
+// IsTree reports whether the view classified as a tree.
+func (v *TreeView) IsTree() bool { return v.Class == ClassTree }
+
+// Classifier computes and caches TreeViews. It memoises the last
+// (graph, stamp, root) triple, so repeated classification of an
+// unmutated platform — the common case between evaluator calls — is
+// free, while any mutation (DisableEdge, SetEdgeCost, Deactivate, …)
+// bumps the graph stamp and invalidates the cache automatically. The
+// zero value is ready to use. A Classifier is not safe for concurrent
+// use; it belongs to exactly one evaluator.
+type Classifier struct {
+	g     *Graph // cache key; also pins the graph while cached
+	stamp uint64
+	root  NodeID
+	valid bool
+	view  TreeView
+
+	buf     []int  // adjacency scratch
+	revSeen []bool // per-node reverse-arc dedupe scratch
+}
+
+// Invalidate drops the memoised view (and the graph reference pinning
+// it). Classification is a pure function of the platform content, so
+// this is never needed for correctness — it exists so long-lived
+// evaluators can stop pinning a platform they are done with.
+func (c *Classifier) Invalidate() {
+	c.g = nil
+	c.valid = false
+}
+
+// Classify returns the TreeView of g's active-edge view rooted at
+// root. The returned view is owned by the classifier and valid until
+// the next Classify or Invalidate call.
+func (c *Classifier) Classify(g *Graph, root NodeID) *TreeView {
+	if c.valid && c.g == g && c.stamp == g.stamp && c.root == root {
+		return &c.view
+	}
+	c.g, c.stamp, c.root = g, g.stamp, root
+	c.valid = true
+	c.classify(g, root)
+	return &c.view
+}
+
+// classify recomputes the view. The tree test exploits the BFS
+// orientation: the undirected support of the reachable active subgraph
+// is a tree if and only if every active edge between reached nodes is
+// either the BFS parent arc of its head or the exact reverse of the
+// parent arc of its tail — any other edge closes an undirected cycle —
+// and no ordered pair carries two such edges (parallel links would let
+// the LP split load, which the combinatorial formula does not model).
+func (c *Classifier) classify(g *Graph, root NodeID) {
+	n := g.NumNodes()
+	v := &c.view
+	v.Root = root
+	v.Class = ClassGeneral
+	if cap(v.ParentEdge) < n {
+		v.ParentEdge = make([]int, n)
+	}
+	v.ParentEdge = v.ParentEdge[:n]
+	for i := range v.ParentEdge {
+		v.ParentEdge[i] = -1
+	}
+	v.Order = v.Order[:0]
+	g.checkNode(root)
+	if !g.Active(root) {
+		return
+	}
+
+	// BFS from the root over active out-edges, recording parent arcs.
+	v.Order = append(v.Order, root)
+	for qi := 0; qi < len(v.Order); qi++ {
+		u := v.Order[qi]
+		c.buf = g.OutEdges(u, c.buf[:0])
+		for _, id := range c.buf {
+			to := g.edges[id].To
+			if to != root && v.ParentEdge[to] == -1 {
+				v.ParentEdge[to] = id
+				v.Order = append(v.Order, to)
+			}
+		}
+	}
+
+	// Verdict pass: every active edge whose endpoints the root reaches
+	// must be a parent arc or the unique reverse of one. Edges touching
+	// unreached nodes are irrelevant to the optimum — no source flow
+	// can traverse them and return — and are ignored, like the LP
+	// effectively does. reverseSeen dedupes parallel reverse arcs per
+	// tail (the parent arc is deduped for free: only one edge ID can
+	// equal ParentEdge[head]).
+	reached := func(u NodeID) bool { return u == root || v.ParentEdge[u] >= 0 }
+	if cap(c.revSeen) < n {
+		c.revSeen = make([]bool, n)
+	}
+	reverseSeen := c.revSeen[:n]
+	for i := range reverseSeen {
+		reverseSeen[i] = false
+	}
+	for id := range g.edges {
+		if !g.EdgeActive(id) {
+			continue
+		}
+		e := g.edges[id]
+		if !reached(e.From) || !reached(e.To) {
+			continue
+		}
+		if v.ParentEdge[e.To] == id {
+			continue // the parent arc itself
+		}
+		// Reverse of the tail's parent arc: From's parent must be To.
+		pe := -1
+		if e.From != root {
+			pe = v.ParentEdge[e.From]
+		}
+		if pe >= 0 && g.edges[pe].From == e.To && !reverseSeen[e.From] {
+			reverseSeen[e.From] = true
+			continue
+		}
+		return // cross edge, parallel edge, or second reverse arc
+	}
+	v.Class = ClassTree
+}

@@ -1,0 +1,202 @@
+package graph
+
+import "testing"
+
+// chain builds s -> v1 -> ... -> v(n-1) with full-duplex links of cost 1.
+func chain(n int) (*Graph, []NodeID) {
+	g := New()
+	ids := g.AddNodes("n", n)
+	for i := 1; i < n; i++ {
+		g.AddLink(ids[i-1], ids[i], 1)
+	}
+	return g, ids
+}
+
+func classOf(t *testing.T, g *Graph, root NodeID) Class {
+	t.Helper()
+	var c Classifier
+	return c.Classify(g, root).Class
+}
+
+func TestClassifyChainAndStar(t *testing.T) {
+	g, ids := chain(5)
+	for _, root := range ids {
+		if got := classOf(t, g, root); got != ClassTree {
+			t.Errorf("chain rooted at %v: class %v, want ClassTree", root, got)
+		}
+	}
+
+	star := New()
+	hub := star.AddNode("hub")
+	for i := 0; i < 4; i++ {
+		leaf := star.AddNode(string(rune('a' + i)))
+		star.AddLink(hub, leaf, float64(i+1))
+	}
+	if got := classOf(t, star, hub); got != ClassTree {
+		t.Errorf("star: class %v, want ClassTree", got)
+	}
+}
+
+func TestClassifyForwardOnlyTree(t *testing.T) {
+	// Directed-only arcs (no reverse edges) are still a tree.
+	g := New()
+	ids := g.AddNodes("n", 4)
+	g.AddEdge(ids[0], ids[1], 1)
+	g.AddEdge(ids[1], ids[2], 2)
+	g.AddEdge(ids[1], ids[3], 3)
+	if got := classOf(t, g, ids[0]); got != ClassTree {
+		t.Errorf("forward-only tree: class %v, want ClassTree", got)
+	}
+	// From a non-root node nothing else is reachable, so the reachable
+	// subgraph is the single node: trivially a tree.
+	if got := classOf(t, g, ids[2]); got != ClassTree {
+		t.Errorf("leaf-rooted view: class %v, want ClassTree", got)
+	}
+}
+
+func TestClassifyRejectsCrossEdge(t *testing.T) {
+	g, ids := chain(4)
+	extra := g.AddEdge(ids[0], ids[2], 5) // closes an undirected cycle
+	if got := classOf(t, g, ids[0]); got != ClassGeneral {
+		t.Fatalf("chain + cross edge: class %v, want ClassGeneral", got)
+	}
+	// Disabling the cross edge restores tree-ness; re-enabling removes
+	// it again. The classifier must see both transitions through the
+	// mutation stamp.
+	var c Classifier
+	g.DisableEdge(extra)
+	if got := c.Classify(g, ids[0]).Class; got != ClassTree {
+		t.Fatalf("cross edge disabled: class %v, want ClassTree", got)
+	}
+	g.EnableEdge(extra)
+	if got := c.Classify(g, ids[0]).Class; got != ClassGeneral {
+		t.Fatalf("cross edge re-enabled: class %v, want ClassGeneral", got)
+	}
+}
+
+func TestClassifyRejectsParallelEdges(t *testing.T) {
+	// Two parallel forward arcs let the LP split load; the classifier
+	// must refuse the combinatorial claim.
+	g := New()
+	ids := g.AddNodes("n", 2)
+	g.AddEdge(ids[0], ids[1], 1)
+	g.AddEdge(ids[0], ids[1], 2)
+	if got := classOf(t, g, ids[0]); got != ClassGeneral {
+		t.Errorf("parallel forward arcs: class %v, want ClassGeneral", got)
+	}
+
+	// Same for duplicated reverse arcs.
+	g2 := New()
+	ids2 := g2.AddNodes("n", 2)
+	g2.AddEdge(ids2[0], ids2[1], 1)
+	g2.AddEdge(ids2[1], ids2[0], 1)
+	g2.AddEdge(ids2[1], ids2[0], 2)
+	if got := classOf(t, g2, ids2[0]); got != ClassGeneral {
+		t.Errorf("parallel reverse arcs: class %v, want ClassGeneral", got)
+	}
+}
+
+func TestClassifyDeactivationUnlocksTree(t *testing.T) {
+	// A 4-cycle is not a tree; deactivating one node leaves a path.
+	g := New()
+	ids := g.AddNodes("n", 4)
+	for i := range ids {
+		g.AddLink(ids[i], ids[(i+1)%4], 1)
+	}
+	if got := classOf(t, g, ids[0]); got != ClassGeneral {
+		t.Fatalf("4-cycle: class %v, want ClassGeneral", got)
+	}
+	g.Deactivate(ids[2])
+	if got := classOf(t, g, ids[0]); got != ClassTree {
+		t.Fatalf("4-cycle minus a node: class %v, want ClassTree", got)
+	}
+}
+
+func TestClassifyIgnoresUnreachablePart(t *testing.T) {
+	// A cycle the root cannot reach does not disqualify the reachable
+	// tree: no source flow can traverse it.
+	g, ids := chain(3)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddLink(a, b, 1)
+	g.AddLink(b, c, 1)
+	g.AddLink(c, a, 1)
+	if got := classOf(t, g, ids[0]); got != ClassTree {
+		t.Errorf("tree + unreachable cycle: class %v, want ClassTree", got)
+	}
+	// Rooted inside the cycle it is general.
+	if got := classOf(t, g, a); got != ClassGeneral {
+		t.Errorf("rooted in cycle: class %v, want ClassGeneral", got)
+	}
+}
+
+func TestClassifyParentOrientation(t *testing.T) {
+	g, ids := chain(4)
+	var c Classifier
+	view := c.Classify(g, ids[1])
+	if !view.IsTree() {
+		t.Fatal("chain should classify as tree")
+	}
+	if view.Root != ids[1] {
+		t.Errorf("root = %v, want %v", view.Root, ids[1])
+	}
+	if view.ParentEdge[ids[1]] != -1 {
+		t.Errorf("root has parent edge %d", view.ParentEdge[ids[1]])
+	}
+	// Every other node's parent edge must point away from the root.
+	for _, v := range []NodeID{ids[0], ids[2], ids[3]} {
+		pe := view.ParentEdge[v]
+		if pe < 0 {
+			t.Fatalf("node %v unreached", v)
+		}
+		if g.Edge(pe).To != v {
+			t.Errorf("parent edge %d of %v does not enter it", pe, v)
+		}
+	}
+	if len(view.Order) != 4 || view.Order[0] != ids[1] {
+		t.Errorf("BFS order %v, want root-first over 4 nodes", view.Order)
+	}
+}
+
+func TestClassifyMemoisesOnStamp(t *testing.T) {
+	g, ids := chain(3)
+	var c Classifier
+	v1 := c.Classify(g, ids[0])
+	v2 := c.Classify(g, ids[0])
+	if v1 != v2 {
+		t.Error("unmutated graph reclassified (memo miss)")
+	}
+	before := g.Stamp()
+	g.SetEdgeCost(0, 2)
+	if g.Stamp() == before {
+		t.Error("SetEdgeCost did not bump the stamp")
+	}
+	// Changing a cost cannot change the class, but the memo must still
+	// refresh (the view is recomputed, not reused stale).
+	if got := c.Classify(g, ids[0]).Class; got != ClassTree {
+		t.Errorf("after cost change: class %v, want ClassTree", got)
+	}
+}
+
+func TestStampBumpsOnMutations(t *testing.T) {
+	g, ids := chain(3)
+	last := g.Stamp()
+	bump := func(what string, f func()) {
+		t.Helper()
+		f()
+		if g.Stamp() == last {
+			t.Errorf("%s did not bump the stamp", what)
+		}
+		last = g.Stamp()
+	}
+	bump("Deactivate", func() { g.Deactivate(ids[2]) })
+	bump("Activate", func() { g.Activate(ids[2]) })
+	bump("DisableEdge", func() { g.DisableEdge(0) })
+	bump("EnableEdge", func() { g.EnableEdge(0) })
+	bump("SetEdgeCost", func() { g.SetEdgeCost(0, 3) })
+	bump("Restrict", func() { g.Restrict(ids[:2]) })
+	bump("ActivateAll", func() { g.ActivateAll() })
+	bump("AddNode", func() { g.AddNode("x") })
+	bump("AddEdge", func() { g.AddEdge(ids[0], ids[2], 1) })
+}

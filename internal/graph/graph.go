@@ -48,7 +48,17 @@ type Graph struct {
 	out      [][]int // node -> edge IDs leaving it
 	in       [][]int // node -> edge IDs entering it
 	byName   map[string]NodeID
+	stamp    uint64 // bumped on every mutation; see Stamp
 }
+
+// Stamp returns the graph's mutation counter: every operation that can
+// change what an algorithm observes — adding nodes or edges, the
+// activity masks, edge costs — bumps it. Derived structure caches (the
+// tree Classifier) compare stamps to decide whether a cached result is
+// still about the current platform; equal stamps on the same Graph
+// value always mean unchanged content. Clone copies the stamp, so a
+// clone and its parent are distinguished by identity, not stamp.
+func (g *Graph) Stamp() uint64 { return g.stamp }
 
 // New returns an empty graph.
 func New() *Graph {
@@ -67,6 +77,7 @@ func (g *Graph) AddNode(name string) NodeID {
 	if _, dup := g.byName[name]; dup {
 		panic(fmt.Sprintf("graph: duplicate node name %q", name))
 	}
+	g.stamp++
 	id := NodeID(len(g.names))
 	g.names = append(g.names, name)
 	g.inactive = append(g.inactive, false)
@@ -97,6 +108,7 @@ func (g *Graph) AddEdge(from, to NodeID, cost float64) int {
 	if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
 		panic(fmt.Sprintf("graph: invalid edge cost %v", cost))
 	}
+	g.stamp++
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Cost: cost})
 	g.out[from] = append(g.out[from], id)
@@ -179,6 +191,7 @@ func (g *Graph) DisableEdge(id int) {
 	if g.edgeOff[id] {
 		return
 	}
+	g.stamp++
 	g.edgeOff[id] = true
 	g.out[e.From] = removeID(g.out[e.From], id)
 	g.in[e.To] = removeID(g.in[e.To], id)
@@ -190,6 +203,7 @@ func (g *Graph) EnableEdge(id int) {
 	if g.edgeOff == nil || !g.edgeOff[id] {
 		return
 	}
+	g.stamp++
 	g.edgeOff[id] = false
 	g.out[e.From] = insertID(g.out[e.From], id)
 	g.in[e.To] = insertID(g.in[e.To], id)
@@ -226,18 +240,20 @@ func (g *Graph) SetEdgeCost(id int, cost float64) {
 	if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
 		panic(fmt.Sprintf("graph: invalid edge cost %v", cost))
 	}
+	g.stamp++
 	g.edges[id].Cost = cost
 }
 
 // Deactivate hides node v and all its incident edges.
-func (g *Graph) Deactivate(v NodeID) { g.checkNode(v); g.inactive[v] = true }
+func (g *Graph) Deactivate(v NodeID) { g.checkNode(v); g.stamp++; g.inactive[v] = true }
 
 // Activate re-enables node v.
-func (g *Graph) Activate(v NodeID) { g.checkNode(v); g.inactive[v] = false }
+func (g *Graph) Activate(v NodeID) { g.checkNode(v); g.stamp++; g.inactive[v] = false }
 
 // Restrict activates exactly the given node set and deactivates all
 // others.
 func (g *Graph) Restrict(keep []NodeID) {
+	g.stamp++
 	for v := range g.inactive {
 		g.inactive[v] = true
 	}
@@ -249,6 +265,7 @@ func (g *Graph) Restrict(keep []NodeID) {
 
 // ActivateAll re-enables every node.
 func (g *Graph) ActivateAll() {
+	g.stamp++
 	for v := range g.inactive {
 		g.inactive[v] = false
 	}
@@ -363,6 +380,7 @@ func (g *Graph) Clone() *Graph {
 		out:      make([][]int, len(g.out)),
 		in:       make([][]int, len(g.in)),
 		byName:   make(map[string]NodeID, len(g.byName)),
+		stamp:    g.stamp,
 	}
 	for v := range g.out {
 		c.out[v] = append([]int(nil), g.out[v]...)

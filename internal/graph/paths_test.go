@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// diamondWithShortcut builds s -> a -> t (costs 1+1) plus a direct
+// shortcut s -> t (cost 5): the shortest route goes through a, the
+// bottleneck route through the shortcut once the relay is gone.
+func diamondWithShortcut() (*Graph, NodeID, NodeID, NodeID, int, int, int) {
+	g := New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	t := g.AddNode("t")
+	sa := g.AddEdge(s, a, 1)
+	at := g.AddEdge(a, t, 1)
+	st := g.AddEdge(s, t, 5)
+	return g, s, a, t, sa, at, st
+}
+
+func TestShortestPathsIgnoreDisabledEdges(t *testing.T) {
+	g, s, _, dst, sa, at, st := diamondWithShortcut()
+
+	dist, parent := g.ShortestPaths(s, CostWeight)
+	if dist[dst] != 2 || parent[dst] != at {
+		t.Fatalf("baseline: dist=%v parent=%d, want 2 via edge %d", dist[dst], parent[dst], at)
+	}
+
+	// Killing the relay's first hop forces the shortcut.
+	g.DisableEdge(sa)
+	dist, parent = g.ShortestPaths(s, CostWeight)
+	if dist[dst] != 5 || parent[dst] != st {
+		t.Errorf("sa disabled: dist=%v parent=%d, want 5 via edge %d", dist[dst], parent[dst], st)
+	}
+	if !math.IsInf(dist[1], 1) || parent[1] != -1 {
+		t.Errorf("sa disabled: relay still reached: dist=%v parent=%d", dist[1], parent[1])
+	}
+
+	// Disabling both routes makes the target unreachable.
+	g.DisableEdge(st)
+	dist, parent = g.ShortestPaths(s, CostWeight)
+	if !math.IsInf(dist[dst], 1) || parent[dst] != -1 {
+		t.Errorf("both disabled: dist=%v parent=%d, want unreachable", dist[dst], parent[dst])
+	}
+
+	// Re-enabling restores the original answer exactly.
+	g.EnableEdge(sa)
+	g.EnableEdge(st)
+	dist, parent = g.ShortestPaths(s, CostWeight)
+	if dist[dst] != 2 || parent[dst] != at {
+		t.Errorf("re-enabled: dist=%v parent=%d, want 2 via edge %d", dist[dst], parent[dst], at)
+	}
+}
+
+func TestBottleneckPathsIgnoreDisabledEdges(t *testing.T) {
+	g, s, _, dst, sa, _, st := diamondWithShortcut()
+
+	// Minimax: through the relay the worst edge is 1, the shortcut is 5.
+	dist, _ := g.BottleneckPaths(s, CostWeight)
+	if dist[dst] != 1 {
+		t.Fatalf("baseline bottleneck = %v, want 1", dist[dst])
+	}
+	g.DisableEdge(sa)
+	dist, parent := g.BottleneckPaths(s, CostWeight)
+	if dist[dst] != 5 || parent[dst] != st {
+		t.Errorf("sa disabled: bottleneck=%v parent=%d, want 5 via edge %d", dist[dst], parent[dst], st)
+	}
+	g.EnableEdge(sa)
+	if dist, _ := g.BottleneckPaths(s, CostWeight); dist[dst] != 1 {
+		t.Errorf("re-enabled: bottleneck = %v, want 1", dist[dst])
+	}
+}
+
+func TestMultiSourceBottleneckIgnoresDisabledEdges(t *testing.T) {
+	g := New()
+	s1 := g.AddNode("s1")
+	s2 := g.AddNode("s2")
+	t1 := g.AddNode("t")
+	e1 := g.AddEdge(s1, t1, 2)
+	e2 := g.AddEdge(s2, t1, 7)
+	dist, parent := g.MultiSourceBottleneck([]NodeID{s1, s2}, CostWeight)
+	if dist[t1] != 2 || parent[t1] != e1 {
+		t.Fatalf("baseline: dist=%v parent=%d", dist[t1], parent[t1])
+	}
+	g.DisableEdge(e1)
+	dist, parent = g.MultiSourceBottleneck([]NodeID{s1, s2}, CostWeight)
+	if dist[t1] != 7 || parent[t1] != e2 {
+		t.Errorf("e1 disabled: dist=%v parent=%d, want 7 via %d", dist[t1], parent[t1], e2)
+	}
+}
+
+func TestWalkBackAvoidsDisabledEdges(t *testing.T) {
+	g, s, _, dst, _, at, st := diamondWithShortcut()
+	g.DisableEdge(at)
+	_, parent := g.ShortestPaths(s, CostWeight)
+	path := g.WalkBack(parent, dst)
+	if len(path) != 1 || path[0] != st {
+		t.Errorf("path = %v, want the shortcut [%d]", path, st)
+	}
+	for _, id := range path {
+		if g.EdgeDisabled(id) {
+			t.Errorf("path uses disabled edge %d", id)
+		}
+	}
+}
+
+func TestReachableIgnoresDisabledEdges(t *testing.T) {
+	g, s, relay, dst, sa, _, st := diamondWithShortcut()
+	if !g.ReachesAll(s, []NodeID{relay, dst}) {
+		t.Fatal("baseline: not all reachable")
+	}
+	g.DisableEdge(sa)
+	r := g.Reachable(s)
+	if r[relay] {
+		t.Error("relay reachable through a disabled edge")
+	}
+	if !r[dst] {
+		t.Error("target lost despite the live shortcut")
+	}
+	if g.ReachesAll(s, []NodeID{relay, dst}) {
+		t.Error("ReachesAll true with the relay cut off")
+	}
+	if !g.ReachesAll(s, []NodeID{dst}) {
+		t.Error("ReachesAll false for the still-reachable target")
+	}
+	g.DisableEdge(st)
+	if r := g.Reachable(s); r[dst] {
+		t.Error("target reachable with every route disabled")
+	}
+	g.EnableEdge(sa)
+	g.EnableEdge(st)
+	if !g.ReachesAll(s, []NodeID{relay, dst}) {
+		t.Error("re-enabled: reachability not restored")
+	}
+}

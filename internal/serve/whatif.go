@@ -77,10 +77,11 @@ type WhatifLine struct {
 	Error        string      `json:"error,omitempty"`
 
 	// Summary fields.
-	Errors        int            `json:"errors,omitempty"`
-	TreeSurviving int            `json:"tree_surviving,omitempty"`
-	CriticalNodes []WhatifRanked `json:"critical_nodes,omitempty"`
-	CriticalEdges []WhatifRanked `json:"critical_edges,omitempty"`
+	Errors            int            `json:"errors,omitempty"`
+	TreeSurviving     int            `json:"tree_surviving,omitempty"`
+	FastPathScenarios int            `json:"fast_path_scenarios,omitempty"`
+	CriticalNodes     []WhatifRanked `json:"critical_nodes,omitempty"`
+	CriticalEdges     []WhatifRanked `json:"critical_edges,omitempty"`
 }
 
 // WhatifRanked is one entry of the summary's criticality rankings.
@@ -93,9 +94,12 @@ type WhatifRanked struct {
 
 // WhatifStats is the what-if section of GET /v1/stats.
 type WhatifStats struct {
-	Requests  int64             `json:"requests"`
-	Scenarios int64             `json:"scenarios"`
-	Solver    steady.SolveStats `json:"solver"`
+	Requests  int64 `json:"requests"`
+	Scenarios int64 `json:"scenarios"`
+	// FastPathScenarios counts scenarios answered through the tree
+	// fast path (e.g. link failures whose disable mask leaves a tree).
+	FastPathScenarios int64             `json:"fast_path_scenarios"`
+	Solver            steady.SolveStats `json:"solver"`
 }
 
 // summaryRankCap bounds the summary's criticality rankings: the
@@ -199,9 +203,10 @@ func whatifScenarioLine(g *graph.Graph, r whatif.Result) WhatifLine {
 // report.
 func whatifSummaryLine(g *graph.Graph, rep *whatif.Report) WhatifLine {
 	line := WhatifLine{
-		Kind:          "summary",
-		Scenarios:     len(rep.Results),
-		TreeSurviving: rep.Surviving,
+		Kind:              "summary",
+		Scenarios:         len(rep.Results),
+		TreeSurviving:     rep.Surviving,
+		FastPathScenarios: rep.FastPathScenarios,
 	}
 	for _, r := range rep.Results {
 		if r.Err != nil {
@@ -288,6 +293,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		next       atomic.Int64
 		statsMu    sync.Mutex
 		scenStats  steady.SolveStats
+		fastScen   int
 		wg         sync.WaitGroup
 		startShard = int(key.routeHash() % uint64(len(s.pool.shards)))
 	)
@@ -302,6 +308,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 			s.pool.runOn(shardIdx, func() {
 				g := res.g.Clone()
 				var local steady.SolveStats
+				localFast := 0
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(scenarios) {
@@ -314,11 +321,17 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 					}
 					sev := base.Ev.Clone()
 					results[i] = whatif.Eval(base, sev, g, scenarios[i])
+					// The clone is scenario-private, so a nonzero hit count
+					// attributes the fast path to exactly this scenario.
+					if sev.Stats().FastPathHits > 0 {
+						localFast++
+					}
 					local.Add(sev.Stats())
 					ready <- i
 				}
 				statsMu.Lock()
 				scenStats.Add(local)
+				fastScen += localFast
 				statsMu.Unlock()
 			})
 		}((startShard + i) % len(s.pool.shards))
@@ -338,11 +351,13 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 
 	rep := whatif.BuildReport(base, scenarios, results)
+	rep.FastPathScenarios = fastScen
 	emit(whatifSummaryLine(res.g, rep))
 
 	s.mu.Lock()
 	s.whatif.Requests++
 	s.whatif.Scenarios += int64(len(scenarios))
+	s.whatif.FastPathScenarios += int64(fastScen)
 	s.whatif.Solver.Add(scenStats)
 	s.mu.Unlock()
 }

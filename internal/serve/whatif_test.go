@@ -244,3 +244,65 @@ func TestConcurrentWhatifBitIdenticalToSerial(t *testing.T) {
 		t.Errorf("whatif requests %d, want %d", st.Whatif.Requests, goroutines*perGoroutine)
 	}
 }
+
+// treeText is an out-tree platform: every bound on it takes the
+// combinatorial fast path.
+const treeText = `
+node S
+edge S a 2
+edge S b 3
+edge a c 1
+edge a d 4
+`
+
+// TestWhatifTreeFastPathStats drives /v1/whatif and /v1/plan on a tree
+// platform and checks the fast-path accounting end to end: the summary
+// line's fast_path_scenarios, the what-if section of /v1/stats, and
+// the shard solver section's FastPathHits.
+func TestWhatifTreeFastPathStats(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "tr", Platform: treeText, Source: "S"})
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
+		PlatformID: "tr", Targets: []string{"a", "b", "c", "d"},
+		Sources: []string{}, // skip promotions: they have no fast path
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
+	}
+	raw := strings.TrimSuffix(w.Body.String(), "\n")
+	parts := strings.Split(raw, "\n")
+	var tail WhatifLine
+	if err := json.Unmarshal([]byte(parts[len(parts)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	// 4 node failures + 4 link failures, every one on a (sub)tree.
+	const scenarios = 4 + 4
+	if tail.Kind != "summary" || tail.Scenarios != scenarios {
+		t.Fatalf("summary line: %+v", tail)
+	}
+	if tail.FastPathScenarios != scenarios {
+		t.Errorf("summary fast_path_scenarios = %d, want %d", tail.FastPathScenarios, scenarios)
+	}
+
+	st := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Whatif.FastPathScenarios != scenarios {
+		t.Errorf("stats whatif fast_path_scenarios = %d, want %d", st.Whatif.FastPathScenarios, scenarios)
+	}
+	if st.Whatif.Solver.FastPathHits < scenarios {
+		t.Errorf("whatif solver FastPathHits = %d, want >= %d", st.Whatif.Solver.FastPathHits, scenarios)
+	}
+
+	// A bounds-only plan on the same platform lands its fast-path hits
+	// in the shard solver section.
+	pw := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{
+		PlatformID: "tr", Targets: []string{"c", "d"},
+		Bounds: []string{"lb", "scatter"}, Heuristics: []string{}, NoCache: true,
+	})
+	if pw.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", pw.Code, pw.Body.String())
+	}
+	st = decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Solver.FastPathHits == 0 {
+		t.Error("shard solver stats show no fast-path hits after a tree plan")
+	}
+}

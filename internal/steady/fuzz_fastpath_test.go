@@ -1,0 +1,108 @@
+package steady
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzTreeVsLP cross-validates the tree fast path against the LP on
+// fuzzer-driven platforms: random trees, near-trees (trees plus a few
+// chords — possibly parallel or self-duplicating, exercising the
+// classifier's fallback verdicts) and random edge-disable masks
+// (exercising the infeasibility convention). Instances stay small
+// enough that MulticastLB runs its direct per-target formulation, which
+// solves to simplex optimality — so the 1e-9 agreement demanded here is
+// against an exact reference, not a cut-regime approximation.
+func FuzzTreeVsLP(f *testing.F) {
+	f.Add([]byte{7, 0, 3, 9, 1, 14, 2, 30, 5, 11})
+	f.Add([]byte{21, 1, 250, 8, 61, 3, 17, 99, 4, 200, 33, 12})
+	f.Add([]byte{12, 2, 5, 5, 5, 5, 5, 5, 5, 5})
+	f.Add([]byte{4, 11, 1, 2, 3, 4, 5, 6})
+	f.Add([]byte{24, 15, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		// A cycling byte reader makes every instance a deterministic
+		// function of the corpus entry.
+		pos := 2
+		next := func() int {
+			b := int(data[pos%len(data)])
+			pos++
+			return b
+		}
+		n := 3 + int(data[0])%22
+		flags := data[1]
+		bidir := flags&1 != 0
+		chords := int(flags>>1) % 4
+		maskEdges := int(flags>>3) % 3
+
+		g := graph.New()
+		ids := g.AddNodes("n", n)
+		cost := func() float64 { return 0.25 + float64(next()%32)*0.125 }
+		for i := 1; i < n; i++ {
+			p := ids[next()%i]
+			if bidir {
+				g.AddLink(p, ids[i], cost())
+			} else {
+				g.AddEdge(p, ids[i], cost())
+			}
+		}
+		for c := 0; c < chords; c++ {
+			u, v := ids[next()%n], ids[next()%n]
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, cost())
+		}
+		for m := 0; m < maskEdges; m++ {
+			g.DisableEdge(next() % g.NumEdges())
+		}
+
+		var targets []graph.NodeID
+		for _, v := range ids[1:] {
+			if next()%2 == 0 {
+				targets = append(targets, v)
+			}
+		}
+		if len(targets) == 0 {
+			targets = append(targets, ids[1+next()%(n-1)])
+		}
+		p, err := NewProblem(g, ids[0], targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		evFast := NewEvaluator()
+		evLP := NewEvaluator()
+		evLP.SetFastPath(false)
+		for _, scatter := range []bool{false, true} {
+			var fast, ref *Bound
+			var err1, err2 error
+			if scatter {
+				fast, err1 = evFast.ScatterUB(p)
+				ref, err2 = evLP.ScatterUB(p)
+			} else {
+				fast, err1 = evFast.MulticastLB(p)
+				ref, err2 = evLP.MulticastLB(p)
+			}
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("scatter=%v: error disagreement: fast %v, LP %v", scatter, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if fast.Infeasible() != ref.Infeasible() {
+				t.Fatalf("scatter=%v: fast infeasible=%v, LP infeasible=%v", scatter, fast.Infeasible(), ref.Infeasible())
+			}
+			if fast.Infeasible() {
+				continue
+			}
+			if d := relDiff(fast.Period, ref.Period); d > 1e-9 {
+				t.Fatalf("scatter=%v: fast period %.17g vs LP %.17g (rel diff %.3g > 1e-9)",
+					scatter, fast.Period, ref.Period, d)
+			}
+		}
+	})
+}

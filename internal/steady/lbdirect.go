@@ -20,7 +20,7 @@ import (
 // Variable indices are arithmetic — rho, then the n block in
 // active-edge order, then one x block per target — so no per-target
 // edge-to-variable map is ever built.
-func multicastLBDirect(p Problem, ws *lp.Workspace, sc *scratch) (*Bound, error) {
+func multicastLBDirect(p Problem, ws *lp.Workspace, sc *scratch, noPresolve bool) (*Bound, error) {
 	g := p.G
 	if !g.ReachesAll(p.Source, p.Targets) {
 		return infeasibleBound(), nil
@@ -35,6 +35,7 @@ func multicastLBDirect(p Problem, ws *lp.Workspace, sc *scratch) (*Bound, error)
 	}
 	edges := sc.edges
 	m := lp.NewModel()
+	m.SetPresolve(!noPresolve)
 	m.Maximize()
 	rhoVar := m.AddVar(1, "rho")
 	nVar := sc.growVarOf(g.NumEdges())

@@ -294,6 +294,10 @@ type LBOptions struct {
 	// scratch. MulticastLB enables it; disabling it gives the cold
 	// baseline the benchmarks compare against.
 	WarmStart bool
+	// NoPresolve skips the LP presolve reductions on every model this
+	// solve builds — the un-presolved baseline the tree fast-path
+	// benchmarks compare against.
+	NoPresolve bool
 
 	// seeds are pre-validated source->target cuts used to prime the cut
 	// pool (Evaluator reuse across related platforms); onCut observes
@@ -326,7 +330,7 @@ func MulticastLBWith(p Problem, opts LBOptions) (*Bound, error) {
 	opts.sc.edges = g.AppendActiveEdges(opts.sc.edges[:0])
 	arcs := len(opts.sc.edges)
 	if len(p.Targets)*(nodes+arcs)+2*nodes <= 4600 {
-		return multicastLBDirect(p, opts.Workspace, opts.sc)
+		return multicastLBDirect(p, opts.Workspace, opts.sc, opts.NoPresolve)
 	}
 	return multicastLBCuts(p, opts)
 }
@@ -355,6 +359,7 @@ func multicastLBCuts(p Problem, opts LBOptions) (*Bound, error) {
 	}
 	edges := sc.edges
 	master := lp.NewModel()
+	master.SetPresolve(!opts.NoPresolve)
 	master.Maximize()
 	rhoVar := master.AddVar(1, "rho")
 	nVar := sc.growVarOf(g.NumEdges())

@@ -453,7 +453,7 @@ func TestLBFormulationsAgree(t *testing.T) {
 		if !ok {
 			return true
 		}
-		direct, err := multicastLBDirect(p, nil, nil)
+		direct, err := multicastLBDirect(p, nil, nil, false)
 		if err != nil {
 			t.Logf("seed %d: direct: %v", seed, err)
 			return false

@@ -1,0 +1,109 @@
+package tree
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Combinatorial steady-state optima on tree platforms. When the
+// active platform classifies as a tree (graph.Classifier), every
+// source->target flow is forced onto the unique tree path, so the
+// steady-state LPs of internal/steady collapse to closed forms over
+// the Steiner subtree spanned by the targets (DESIGN.md Section 12):
+//
+//   - Multicast-LB / Broadcast-EB: the optimistic loads are n(e) = 1
+//     on every subtree edge, and the period is the worst one-port
+//     occupation T* = max_v max(c(parent(v)), sum_children c(v->c)).
+//   - Multicast-UB (scatter): each of the k(e) targets below edge e
+//     crosses it separately, so n(e) = k(e) and the occupations are
+//     weighted by those counts.
+//
+// Both are O(V + E) scans with no simplex, which is the whole point:
+// on a tree the evaluator's fast path answers a bound in the time one
+// LP pivot would take.
+
+// RateScratch pools the per-call buffers of SteadyPeriod so a
+// long-lived evaluator allocates nothing per evaluation. The zero
+// value is ready to use.
+type RateScratch struct {
+	cnt  []int32   // per-node targets-in-subtree count
+	send []float64 // per-node out-port occupation
+}
+
+// SteadyPeriod computes the optimal steady-state period of the
+// one-port multicast on a tree platform: the Multicast-LB optimum when
+// scatter is false, the Multicast-UB scatter optimum when scatter is
+// true. view must classify g as a tree rooted at the multicast source
+// (view.IsTree()); targets must be non-empty, active and distinct,
+// and must not contain the root — the same contract steady.Problem
+// enforces.
+//
+// load, when non-nil, must have length g.NumEdges(); it is zeroed and
+// filled with the per-multicast edge loads n(e) of the optimum (1 on
+// every Steiner-subtree edge for multicast, the subtree target count
+// for scatter), matching the EdgeLoad convention of steady.Bound.
+//
+// The returned period is +Inf when some target is not reachable from
+// the root — the same infeasibility convention as the LPs.
+func SteadyPeriod(g *graph.Graph, view *graph.TreeView, targets []graph.NodeID, scatter bool, load []float64, sc *RateScratch) float64 {
+	if sc == nil {
+		sc = &RateScratch{}
+	}
+	n := g.NumNodes()
+	if cap(sc.cnt) < n {
+		sc.cnt = make([]int32, n)
+	}
+	cnt := sc.cnt[:n]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, t := range targets {
+		if t != view.Root && view.ParentEdge[t] == -1 {
+			return math.Inf(1) // unreachable target: infeasible
+		}
+		cnt[t]++
+	}
+	if load != nil {
+		for i := range load {
+			load[i] = 0
+		}
+	}
+	// Children before parents: reverse BFS order pushes each subtree's
+	// target count up its parent arc.
+	if cap(sc.send) < n {
+		sc.send = make([]float64, n)
+	}
+	send := sc.send[:n]
+	for i := range send {
+		send[i] = 0
+	}
+	period := 0.0
+	for i := len(view.Order) - 1; i > 0; i-- {
+		v := view.Order[i]
+		if cnt[v] == 0 {
+			continue
+		}
+		id := view.ParentEdge[v]
+		e := g.Edge(id)
+		k := 1.0
+		if scatter {
+			k = float64(cnt[v])
+		}
+		if load != nil {
+			load[id] = k
+		}
+		occ := e.Cost * k
+		if occ > period {
+			period = occ // receive port of v
+		}
+		send[e.From] += occ
+		cnt[e.From] += cnt[v]
+	}
+	for _, v := range view.Order {
+		if send[v] > period {
+			period = send[v] // send port of v
+		}
+	}
+	return period
+}

@@ -1,0 +1,153 @@
+package tree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func classify(t *testing.T, g *graph.Graph, root graph.NodeID) *graph.TreeView {
+	t.Helper()
+	var c graph.Classifier
+	view := c.Classify(g, root)
+	if !view.IsTree() {
+		t.Fatalf("platform did not classify as a tree")
+	}
+	return view
+}
+
+func TestSteadyPeriodStar(t *testing.T) {
+	// Star: hub -> leaves with costs 1, 2, 3. Broadcast period is the
+	// hub's send-port occupation 1+2+3 = 6; every receive port is below
+	// that. Scatter is identical (one target per leaf edge).
+	g := graph.New()
+	hub := g.AddNode("hub")
+	var leaves []graph.NodeID
+	for i := 0; i < 3; i++ {
+		leaf := g.AddNode(string(rune('a' + i)))
+		g.AddLink(hub, leaf, float64(i+1))
+		leaves = append(leaves, leaf)
+	}
+	view := classify(t, g, hub)
+	load := make([]float64, g.NumEdges())
+
+	got := SteadyPeriod(g, view, leaves, false, load, nil)
+	if got != 6 {
+		t.Errorf("broadcast period = %v, want 6", got)
+	}
+	for _, leaf := range leaves {
+		if l := load[view.ParentEdge[leaf]]; l != 1 {
+			t.Errorf("load on edge to %v = %v, want 1", leaf, l)
+		}
+	}
+	if got := SteadyPeriod(g, view, leaves, true, load, nil); got != 6 {
+		t.Errorf("scatter period = %v, want 6", got)
+	}
+
+	// Multicast to the two cheap leaves: send port 1+2 = 3, and the
+	// unused edge carries no load.
+	got = SteadyPeriod(g, view, leaves[:2], false, load, nil)
+	if got != 3 {
+		t.Errorf("multicast period = %v, want 3", got)
+	}
+	if l := load[view.ParentEdge[leaves[2]]]; l != 0 {
+		t.Errorf("unused edge load = %v, want 0", l)
+	}
+}
+
+func TestSteadyPeriodChain(t *testing.T) {
+	// Chain s -2-> a -3-> b. Broadcast: a both receives (occupation 2)
+	// and forwards (occupation 3), so the period is 3. Multicast to a
+	// alone uses only the first edge: period 2.
+	g := graph.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddLink(s, a, 2)
+	g.AddLink(a, b, 3)
+	view := classify(t, g, s)
+
+	if got := SteadyPeriod(g, view, []graph.NodeID{a, b}, false, nil, nil); got != 3 {
+		t.Errorf("broadcast period = %v, want 3", got)
+	}
+	if got := SteadyPeriod(g, view, []graph.NodeID{a}, false, nil, nil); got != 2 {
+		t.Errorf("multicast-to-a period = %v, want 2", got)
+	}
+
+	// Scatter to {a, b}: both messages cross s->a, so its occupation is
+	// 2*2 = 4, above a's forwarding occupation 3.
+	load := make([]float64, g.NumEdges())
+	if got := SteadyPeriod(g, view, []graph.NodeID{a, b}, true, load, nil); got != 4 {
+		t.Errorf("scatter period = %v, want 4", got)
+	}
+	if load[view.ParentEdge[a]] != 2 || load[view.ParentEdge[b]] != 1 {
+		t.Errorf("scatter loads = %v, want 2 on s->a and 1 on a->b", load)
+	}
+}
+
+func TestSteadyPeriodReceiveBound(t *testing.T) {
+	// A single expensive leaf edge makes the receive port dominate:
+	// hub -10-> a, hub -1-> b. Broadcast period is max(send 11,
+	// receive 10) = 11; multicast to a alone is 10, set by a's receive
+	// port, not the hub's send port.
+	g := graph.New()
+	hub := g.AddNode("hub")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddLink(hub, a, 10)
+	g.AddLink(hub, b, 1)
+	view := classify(t, g, hub)
+
+	if got := SteadyPeriod(g, view, []graph.NodeID{a, b}, false, nil, nil); got != 11 {
+		t.Errorf("broadcast period = %v, want 11", got)
+	}
+	if got := SteadyPeriod(g, view, []graph.NodeID{a}, false, nil, nil); got != 10 {
+		t.Errorf("multicast period = %v, want 10", got)
+	}
+}
+
+func TestSteadyPeriodUnreachable(t *testing.T) {
+	// b has only an outgoing arc toward the tree, so it is unreachable
+	// from s: infeasible, like the LPs report.
+	g := graph.New()
+	s := g.AddNode("s")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddLink(s, a, 1)
+	g.AddEdge(b, a, 1)
+	view := classify(t, g, s)
+	if got := SteadyPeriod(g, view, []graph.NodeID{a, b}, false, nil, nil); !math.IsInf(got, 1) {
+		t.Errorf("period = %v, want +Inf for unreachable target", got)
+	}
+}
+
+func TestSteadyPeriodScratchReuse(t *testing.T) {
+	// The same scratch must serve growing platforms and leave no stale
+	// state behind between calls.
+	var sc RateScratch
+	g := graph.New()
+	s := g.AddNode("s")
+	prev := s
+	var targets []graph.NodeID
+	var c graph.Classifier
+	for i := 0; i < 6; i++ {
+		v := g.AddNode(string(rune('a' + i)))
+		g.AddLink(prev, v, 1)
+		targets = append(targets, v)
+		prev = v
+
+		view := c.Classify(g, s)
+		if !view.IsTree() {
+			t.Fatal("chain should classify as tree")
+		}
+		want := 1.0 // unit chain broadcast: every port occupation is 1
+		if got := SteadyPeriod(g, view, targets, false, nil, &sc); got != want {
+			t.Fatalf("n=%d: period = %v, want %v", i+2, got, want)
+		}
+		// Scatter down a chain: the first edge carries all i+1 targets.
+		if got := SteadyPeriod(g, view, targets, true, nil, &sc); got != float64(i+1) {
+			t.Fatalf("n=%d: scatter period = %v, want %v", i+2, got, i+1)
+		}
+	}
+}

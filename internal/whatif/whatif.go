@@ -380,6 +380,13 @@ type Report struct {
 	CriticalEdges []Ranked
 	// Surviving counts the scenarios the baseline MCPH tree survives.
 	Surviving int
+	// FastPathScenarios counts the scenarios whose evaluator clone
+	// answered at least one bound through the tree-topology fast path —
+	// e.g. a link failure whose disable mask turns the platform into a
+	// tree. The results themselves are byte-identical either way
+	// (TestWhatifFastPathByteIdentical); this only reports where the
+	// solver effort went.
+	FastPathScenarios int
 	// BaselineStats is the solver effort of the baseline solves;
 	// ScenarioStats aggregates the per-scenario evaluator effort (the
 	// warm-start win shows up here as fewer simplex iterations than a
@@ -404,25 +411,28 @@ func Analyze(p steady.Problem, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	scenarios := Enumerate(p.G, p.Source, cfg)
-	results, stats := Run(base, scenarios, cfg)
+	results, stats, fast := Run(base, scenarios, cfg)
 	rep := BuildReport(base, scenarios, results)
 	rep.BaselineStats = ev.Stats()
 	rep.ScenarioStats = stats
+	rep.FastPathScenarios = fast
 	return rep, nil
 }
 
 // Run evaluates the scenarios against the baseline on cfg.workers()
-// concurrent workers and returns the index-aligned results plus the
-// aggregated scenario solver statistics. Each scenario gets a fresh
-// clone of base.Ev (or a fresh evaluator when cfg.Cold) and each
-// worker a private platform copy, so the results are independent of
-// scheduling.
-func Run(base *Baseline, scenarios []Scenario, cfg Config) ([]Result, steady.SolveStats) {
+// concurrent workers and returns the index-aligned results, the
+// aggregated scenario solver statistics, and the number of scenarios
+// answered (at least partly) through the tree fast path. Each scenario
+// gets a fresh clone of base.Ev (or a fresh evaluator when cfg.Cold)
+// and each worker a private platform copy, so the results are
+// independent of scheduling.
+func Run(base *Baseline, scenarios []Scenario, cfg Config) ([]Result, steady.SolveStats, int) {
 	results := make([]Result, len(scenarios))
 	var (
 		next  atomic.Int64
 		mu    sync.Mutex
 		stats steady.SolveStats
+		fast  int
 		wg    sync.WaitGroup
 	)
 	workers := cfg.workers()
@@ -435,6 +445,7 @@ func Run(base *Baseline, scenarios []Scenario, cfg Config) ([]Result, steady.Sol
 			defer wg.Done()
 			g := base.Problem.G.Clone()
 			var local steady.SolveStats
+			localFast := 0
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(scenarios) {
@@ -445,15 +456,21 @@ func Run(base *Baseline, scenarios []Scenario, cfg Config) ([]Result, steady.Sol
 					sev = base.Ev.Clone()
 				}
 				results[i] = Eval(base, sev, g, scenarios[i])
+				// The clone is private to this scenario, so its counters
+				// attribute exactly one evaluation.
+				if sev.Stats().FastPathHits > 0 {
+					localFast++
+				}
 				local.Add(sev.Stats())
 			}
 			mu.Lock()
 			stats.Add(local)
+			fast += localFast
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return results, stats
+	return results, stats, fast
 }
 
 // BuildReport assembles the rankings from index-aligned scenarios and
