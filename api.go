@@ -8,6 +8,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/heur"
+	"repro/internal/mcastclient"
 	"repro/internal/platforms"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -158,17 +159,53 @@ type (
 	// ServeConfig parameterises a PlanServer (shard count, plan cache
 	// capacity, upload size limit).
 	ServeConfig = serve.Config
+	// PlanSpec is the shared request core — platform addressing,
+	// source, targets, bound/heuristic subsets — embedded by
+	// PlanRequest, WhatifRequest and BatchItem. The embedding is
+	// wire-transparent: the JSON layout is the same flat object the v1
+	// API has always accepted.
+	PlanSpec = serve.PlanSpec
 	// PlanRequest is the body of POST /v1/plan.
 	PlanRequest = serve.PlanRequest
 	// PlanResponse is the body of a successful POST /v1/plan.
 	PlanResponse = serve.PlanResponse
 	// PlatformUpload is the body of POST /v1/platforms.
 	PlatformUpload = serve.UploadRequest
+	// BatchRequest is the body of POST /v1/plan:batch and POST
+	// /v1/jobs: shared spec defaults plus an item list.
+	BatchRequest = serve.BatchRequest
+	// BatchItem is one entry of a BatchRequest.
+	BatchItem = serve.BatchItem
+	// BatchLine is one NDJSON line of a batch (or job) result stream.
+	BatchLine = serve.BatchLine
+	// JobStatus is the body of a job poll (GET /v1/jobs/{id}).
+	JobStatus = serve.JobStatus
+	// APIErrorBody is the structured error payload every v1 endpoint
+	// wraps in {"error": {...}} on failure.
+	APIErrorBody = serve.ErrorBody
+	// APIErrorEnvelope is the full error response body.
+	APIErrorEnvelope = serve.ErrorEnvelope
 )
 
 // NewPlanServer returns a ready planning daemon; mount it on any
 // http.Server (cmd/mcastd adds flags, logging and graceful shutdown).
 func NewPlanServer(cfg ServeConfig) *PlanServer { return serve.New(cfg) }
+
+type (
+	// Client is the typed Go client for a running mcastd: platform
+	// upload, plans, batch streams and the async job lifecycle, with
+	// server failures decoded into *APIError.
+	Client = mcastclient.Client
+	// APIError is a structured v1 API failure: HTTP status plus the
+	// decoded error envelope (code and message).
+	APIError = mcastclient.APIError
+)
+
+// NewClient returns a Client for the daemon at baseURL. A nil
+// httpClient means http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	return mcastclient.New(baseURL, httpClient)
+}
 
 // Serve runs a planning daemon on addr until the listener fails. For
 // graceful shutdown, build an http.Server around NewPlanServer

@@ -119,7 +119,7 @@ func TestFacadeServe(t *testing.T) {
 	for _, id := range pl.Targets {
 		targets = append(targets, pl.G.Name(id))
 	}
-	plan, _ := json.Marshal(repro.PlanRequest{PlatformID: "fig1", Targets: targets})
+	plan, _ := json.Marshal(repro.PlanRequest{PlanSpec: repro.PlanSpec{PlatformID: "fig1", Targets: targets}})
 	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(plan))
 	if err != nil {
 		t.Fatal(err)

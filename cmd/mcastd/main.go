@@ -5,16 +5,27 @@
 //
 // Usage:
 //
-//	mcastd [-addr :8723] [-shards N] [-cache N] [-pprof 127.0.0.1:6060]
+//	mcastd [-addr :8723] [-shards N] [-cache N] [-max-jobs N]
+//	       [-job-ttl 10m] [-pprof 127.0.0.1:6060]
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness
-//	POST /v1/platforms       upload a platform (graph text format)
-//	GET  /v1/platforms       list registered platforms
-//	GET  /v1/platforms/{id}  one platform's metadata
-//	POST /v1/plan            compute bounds and heuristic plans
-//	GET  /v1/stats           solver + serving statistics
+//	GET    /healthz              liveness
+//	POST   /v1/platforms         upload a platform (graph text format)
+//	GET    /v1/platforms         list registered platforms
+//	GET    /v1/platforms/{id}    one platform's metadata
+//	POST   /v1/plan              compute bounds and heuristic plans
+//	POST   /v1/plan:batch        many plans, one NDJSON stream in order
+//	POST   /v1/jobs              submit a batch as an async job (202)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         poll one job's progress
+//	GET    /v1/jobs/{id}/stream  tail a job's NDJSON results (?offset=N)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	POST   /v1/whatif            resilience what-if analysis (NDJSON)
+//	GET    /v1/stats             solver + serving statistics
+//
+// Errors are the structured envelope {"error":{"code":...,
+// "message":...}} on every endpoint; see DESIGN.md Section 13.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests for up to -drain seconds.
@@ -47,6 +58,8 @@ func main() {
 		cache     = flag.Int("cache", 0, "plan cache capacity in responses (0 = default, negative disables)")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (empty disables; use a private address)")
+		maxJobs   = flag.Int("max-jobs", 0, "max unfinished async jobs before 429 (0 = default)")
+		jobTTL    = flag.Duration("job-ttl", 0, "how long finished job results stay retrievable (0 = default)")
 	)
 	flag.Parse()
 
@@ -66,7 +79,7 @@ func main() {
 		}()
 	}
 
-	srv := serve.New(serve.Config{Shards: *shards, CacheSize: *cache})
+	srv := serve.New(serve.Config{Shards: *shards, CacheSize: *cache, MaxJobs: *maxJobs, JobTTL: *jobTTL})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -1,6 +1,7 @@
-// Planclient: talk to the mcastd planning daemon over HTTP — upload a
-// platform once, then request multicast plans against it by ID and
-// watch the cache and coalescer do their work.
+// Planclient: talk to the mcastd planning daemon through the typed
+// client — upload a platform once, request an interactive plan, stream
+// a batch, and run the same batch as an async job with a resumable
+// result stream.
 //
 // By default the example starts an in-process daemon on a loopback
 // listener so it is self-contained; point it at a running daemon with
@@ -9,15 +10,12 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
-	"strings"
+	"time"
 
 	"repro"
 )
@@ -34,6 +32,8 @@ func main() {
 		base = ts.URL
 		fmt.Printf("started in-process daemon at %s\n\n", base)
 	}
+	c := repro.NewClient(base, nil)
+	ctx := context.Background()
 
 	// The quickstart platform: a fast relay in front of three clients.
 	platform := `
@@ -44,64 +44,99 @@ edge relay client0 0.5
 edge relay client1 0.5
 edge relay client2 0.5
 `
-	up := post(base+"/v1/platforms", repro.PlatformUpload{
+	up, err := c.UploadPlatform(ctx, &repro.PlatformUpload{
 		ID: "quickstart", Platform: platform, Source: "source",
 	})
-	fmt.Printf("uploaded platform: %s\n\n", up)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded platform %s (%d nodes, %d edges)\n\n", up.ID, up.Nodes, up.Edges)
 
-	req := repro.PlanRequest{
+	// One interactive plan. Running it twice would be a cache hit with a
+	// byte-identical body (check the X-Mcastd-Cache header via PlanRaw).
+	plan, err := c.Plan(ctx, &repro.PlanRequest{PlanSpec: repro.PlanSpec{
 		PlatformID: "quickstart",
 		Targets:    []string{"client0", "client1", "client2"},
+	}})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("plan (computed):")
-	fmt.Println(indent(post(base+"/v1/plan", req)))
+	fmt.Println("plan bounds:")
+	for _, b := range plan.Bounds {
+		fmt.Printf("  %-22s throughput %g\n", b.Name, b.Throughput)
+	}
 
-	// The identical request again: served from the plan cache,
-	// byte-identical body (check the X-Mcastd-Cache header).
-	fmt.Println("plan again (cache hit, same bytes):")
-	fmt.Println(indent(post(base+"/v1/plan", req)))
+	// The same work as a batch: shared platform and source at the batch
+	// level, per-item target sets, one NDJSON line per item in
+	// submission order.
+	batch := &repro.BatchRequest{
+		PlanSpec: repro.PlanSpec{PlatformID: "quickstart"},
+		Items: []repro.BatchItem{
+			{PlanSpec: repro.PlanSpec{Targets: []string{"client0"}}},
+			{PlanSpec: repro.PlanSpec{Targets: []string{"client1", "client2"}}},
+			{PlanSpec: repro.PlanSpec{Targets: []string{"client0", "client1", "client2"}}},
+		},
+	}
+	fmt.Println("\nbatch stream:")
+	err = c.PlanBatch(ctx, batch, func(line repro.BatchLine) error {
+		switch {
+		case line.Kind == "summary":
+			fmt.Printf("  summary: %d items, %d errors\n", line.Items, line.ErrorCount)
+		case line.Error != nil:
+			fmt.Printf("  item %d: error %s: %s\n", line.Index, line.Error.Code, line.Error.Message)
+		default:
+			fmt.Printf("  item %d: %d targets, %d bounds\n",
+				line.Index, len(line.Plan.Targets), len(line.Plan.Bounds))
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	stats := get(base + "/v1/stats")
-	fmt.Println("stats:")
-	fmt.Println(indent(stats))
+	// The identical batch as an async job: submit, poll to completion,
+	// then fetch the result stream — byte-identical to the synchronous
+	// batch response above, resumable from any byte offset.
+	job, err := c.SubmitJob(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubmitted %s (%d items)\n", job.ID, job.Items)
+	for job.State == "running" {
+		time.Sleep(10 * time.Millisecond)
+		if job, err = c.Job(ctx, job.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("job %s: %s, %d/%d items, %d bytes of results\n",
+		job.ID, job.State, job.Completed, job.Items, job.Bytes)
+	fmt.Println("job stream (same bytes as the batch endpoint):")
+	if _, err := c.StreamJob(ctx, job.ID, 0, indentWriter{}); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func post(url string, body any) string {
-	data, err := json.Marshal(body)
-	if err != nil {
-		log.Fatal(err)
+// indentWriter prints stream chunks two-space indented.
+type indentWriter struct{}
+
+func (indentWriter) Write(p []byte) (int, error) {
+	for _, line := range splitLines(p) {
+		fmt.Printf("  %s\n", line)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode >= 300 {
-		log.Fatalf("%s: %d %s", url, resp.StatusCode, out)
-	}
-	if how := resp.Header.Get("X-Mcastd-Cache"); how != "" {
-		fmt.Printf("  (served: %s)\n", how)
-	}
-	return strings.TrimSpace(string(out))
+	return len(p), nil
 }
 
-func get(url string) string {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
+func splitLines(p []byte) []string {
+	var out []string
+	start := 0
+	for i, b := range p {
+		if b == '\n' {
+			out = append(out, string(p[start:i]))
+			start = i + 1
+		}
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
+	if start < len(p) {
+		out = append(out, string(p[start:]))
 	}
-	return strings.TrimSpace(string(out))
-}
-
-func indent(s string) string {
-	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+	return out
 }

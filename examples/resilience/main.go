@@ -52,8 +52,10 @@ edge relay client2 0.5
 	})
 
 	req := repro.WhatifRequest{
-		PlatformID:  "quickstart",
-		Targets:     []string{"client0", "client1", "client2"},
+		PlanSpec: repro.PlanSpec{
+			PlatformID: "quickstart",
+			Targets:    []string{"client0", "client1", "client2"},
+		},
 		EdgeFactors: []float64{0, 4}, // every link failure, every link 4x slower
 	}
 	data, err := json.Marshal(req)

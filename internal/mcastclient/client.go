@@ -1,0 +1,252 @@
+// Package mcastclient is the Go client for the mcastd v1 API: typed
+// wrappers for platform upload, interactive plans, synchronous batch
+// streams and the async job lifecycle, with every server-side failure
+// decoded from the v1 error envelope into a typed *APIError.
+//
+// The client is a thin transport layer: request and response types are
+// the serve package's own, so anything the daemon can say is
+// expressible here without translation. It is safe for concurrent use
+// (cmd/loadgen drives one Client from many goroutines).
+package mcastclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// APIError is a structured v1 API failure: the HTTP status plus the
+// decoded error envelope. Responses whose body is not a v1 envelope
+// (a proxy error page, a truncated read) still produce an APIError,
+// with an empty Code and the raw body as the message.
+type APIError struct {
+	Status  int
+	Code    serve.ErrorCode
+	Message string
+	// RetryAfterSecs is the parsed Retry-After header of a saturated
+	// (429) response, 0 when absent.
+	RetryAfterSecs int
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("mcastd: HTTP %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("mcastd: %s (HTTP %d): %s", e.Code, e.Status, e.Message)
+}
+
+// IsCode reports whether err is an *APIError carrying the given code.
+func IsCode(err error, code serve.ErrorCode) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == code
+}
+
+// Client talks to one mcastd base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8723"). A nil httpClient means
+// http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// apiErr converts a non-2xx response into an *APIError, consuming the
+// body.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ae := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	var env serve.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			ae.RetryAfterSecs = secs
+		}
+	}
+	return ae
+}
+
+// roundTrip sends one JSON request and hands back the raw response.
+// The caller owns the body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+// doJSON sends one request and decodes a 2xx JSON response into out.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	resp, err := c.roundTrip(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiErr(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive only
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UploadPlatform registers (or swaps) a platform.
+func (c *Client) UploadPlatform(ctx context.Context, req *serve.UploadRequest) (*serve.UploadResponse, error) {
+	var out serve.UploadResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/platforms", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Plan requests one multicast plan.
+func (c *Client) Plan(ctx context.Context, req *serve.PlanRequest) (*serve.PlanResponse, error) {
+	var out serve.PlanResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PlanRaw requests one plan and returns the undecoded body plus the
+// response headers — for callers that care about exact bytes or the
+// X-Mcastd-* serving metadata.
+func (c *Client) PlanRaw(ctx context.Context, req *serve.PlanRequest) ([]byte, http.Header, error) {
+	resp, err := c.roundTrip(ctx, http.MethodPost, "/v1/plan", req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, resp.Header, apiErr(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.Header, err
+}
+
+// PlanBatch streams POST /v1/plan:batch, invoking fn for every NDJSON
+// line (item plan lines in submission order, then the summary line) as
+// it arrives. A non-nil error from fn aborts the stream — closing the
+// body cancels the server's remaining items.
+func (c *Client) PlanBatch(ctx context.Context, req *serve.BatchRequest, fn func(serve.BatchLine) error) error {
+	resp, err := c.roundTrip(ctx, http.MethodPost, "/v1/plan:batch", req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	for sc.Scan() {
+		var line serve.BatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("mcastd: bad batch line %q: %w", sc.Text(), err)
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// SubmitJob submits a batch for asynchronous execution and returns the
+// accepted job's initial status. Admission-control refusals surface as
+// an *APIError with code "saturated" and RetryAfterSecs set.
+func (c *Client) SubmitJob(ctx context.Context, req *serve.BatchRequest) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the store's jobs, oldest first.
+func (c *Client) Jobs(ctx context.Context) ([]serve.JobStatus, error) {
+	var out []serve.JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob cancels a job (a no-op on finished jobs) and returns its
+// status at cancellation time.
+func (c *Client) CancelJob(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var out serve.JobStatus
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamJob copies a job's NDJSON result stream from byte offset
+// into w, following live until the job finishes (or ctx ends). It
+// returns the number of bytes written; offset+written is the offset to
+// resume from.
+func (c *Client) StreamJob(ctx context.Context, id string, offset int64, w io.Writer) (int64, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/stream"
+	if offset > 0 {
+		path += "?offset=" + strconv.FormatInt(offset, 10)
+	}
+	resp, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, apiErr(resp)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	var out serve.StatsResponse
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

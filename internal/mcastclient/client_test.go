@@ -1,0 +1,136 @@
+package mcastclient
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+const diamondText = `
+node S
+edge S r1 1
+edge S r2 1
+edge r1 t1 1
+edge r1 t2 1
+edge r2 t1 1
+edge r2 t2 1
+edge S t1 6
+edge S t2 6
+`
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{Shards: 2}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, nil)
+}
+
+// TestClientRoundTrip drives the typed client through the full v1
+// surface: upload, plan, batch stream, job lifecycle, stats.
+func TestClientRoundTrip(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	up, err := c.UploadPlatform(ctx, &serve.UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID != "d" || up.Nodes != 5 {
+		t.Fatalf("upload %+v", up)
+	}
+
+	plan, err := c.Plan(ctx, &serve.PlanRequest{PlanSpec: serve.PlanSpec{PlatformID: "d", Targets: []string{"t1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Bounds) == 0 {
+		t.Fatalf("plan %+v", plan)
+	}
+
+	raw, hdr, err := c.PlanRaw(ctx, &serve.PlanRequest{PlanSpec: serve.PlanSpec{PlatformID: "d", Targets: []string{"t1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || hdr.Get(serve.HeaderCache) != "hit" {
+		t.Errorf("raw plan: %d bytes, cache header %q (want hit)", len(raw), hdr.Get(serve.HeaderCache))
+	}
+
+	batch := &serve.BatchRequest{
+		PlanSpec: serve.PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items: []serve.BatchItem{
+			{PlanSpec: serve.PlanSpec{Targets: []string{"t1"}}},
+			{PlanSpec: serve.PlanSpec{Targets: []string{"t2"}}},
+		},
+	}
+	var kinds []string
+	if err := c.PlanBatch(ctx, batch, func(line serve.BatchLine) error {
+		kinds = append(kinds, line.Kind)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 3 || kinds[2] != "summary" {
+		t.Fatalf("batch line kinds %v", kinds)
+	}
+
+	job, err := c.SubmitJob(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job.State == serve.JobRunning {
+		time.Sleep(time.Millisecond)
+		if job, err = c.Job(ctx, job.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.State != serve.JobDone || job.Completed != 2 {
+		t.Fatalf("job %+v", job)
+	}
+	var full bytes.Buffer
+	if n, err := c.StreamJob(ctx, job.ID, 0, &full); err != nil || n != job.Bytes {
+		t.Fatalf("stream: %d bytes, err %v (want %d)", n, err, job.Bytes)
+	}
+	var tail bytes.Buffer
+	if _, err := c.StreamJob(ctx, job.ID, job.Bytes/2, &tail); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail.Bytes(), full.Bytes()[job.Bytes/2:]) {
+		t.Error("resumed stream differs from stream[offset:]")
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs %v err %v", jobs, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || st.Jobs.Done != 1 || st.Batch.Requests != 2 {
+		t.Fatalf("stats %+v err %v", st, err)
+	}
+}
+
+// TestClientTypedErrors: server failures decode into *APIError with
+// the envelope's code, status and Retry-After hint.
+func TestClientTypedErrors(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	_, err := c.Plan(ctx, &serve.PlanRequest{PlanSpec: serve.PlanSpec{PlatformID: "missing", Targets: []string{"x"}}})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err %T %v, want *APIError", err, err)
+	}
+	if ae.Status != 404 || ae.Code != serve.CodeNotFound || ae.Message == "" {
+		t.Errorf("APIError %+v", ae)
+	}
+	if !IsCode(err, serve.CodeNotFound) || IsCode(err, serve.CodeSaturated) {
+		t.Error("IsCode misclassified the error")
+	}
+
+	if _, err := c.Job(ctx, "job-404"); !IsCode(err, serve.CodeNotFound) {
+		t.Errorf("job poll err %v, want not_found", err)
+	}
+}

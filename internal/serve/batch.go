@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/steady"
+)
+
+// BatchRequest is the body of POST /v1/plan:batch and POST /v1/jobs: a
+// batch-level PlanSpec holding shared defaults (platform addressing,
+// source, targets, bound/heuristic subsets) plus the item list. Every
+// item is itself a PlanSpec; item fields override the shared defaults
+// field by field, with platform addressing replaced all-or-nothing
+// (an item that names either platform_id or an inline platform ignores
+// the shared addressing entirely).
+type BatchRequest struct {
+	PlanSpec
+	// Items are the plan specs, answered in submission order.
+	Items []BatchItem `json:"items"`
+	// NoCache bypasses the plan cache and the coalescer for every item
+	// (results are still cached for later requests), mirroring
+	// PlanRequest.NoCache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// BatchItem is one entry of a batch: a PlanSpec whose unset fields
+// inherit the batch-level shared spec.
+type BatchItem struct {
+	PlanSpec
+}
+
+// BatchLine is one NDJSON line of a batch (or job) result stream:
+// per-item "plan" lines in submission order, then one "summary" line.
+// A plan line carries either the PlanResponse — bit-identical to what
+// a serial Server.Plan call returns for the same effective spec — or
+// the item's error body; item failures never abort the batch. The
+// whole line sequence is a pure function of the request and the
+// platform contents: worker count, lane assignment, caching and
+// coalescing never change a byte.
+type BatchLine struct {
+	Kind string `json:"kind"` // "plan" or "summary"
+
+	// Plan-line fields. Index is the item's 0-based submission index
+	// (meaningful on plan lines only; summary lines always carry 0).
+	Index int           `json:"index"`
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error *ErrorBody    `json:"error,omitempty"`
+
+	// Summary-line fields.
+	Items      int `json:"items,omitempty"`
+	ErrorCount int `json:"errors,omitempty"`
+}
+
+// BatchStats is the batch section of GET /v1/stats, covering the
+// synchronous endpoint and the async job runner together (both drain
+// through the same engine).
+type BatchStats struct {
+	Requests int64 `json:"requests"`
+	Items    int64 `json:"items"`
+	Errors   int64 `json:"errors"`
+}
+
+// batchBodyLimit bounds a batch body: one worst-case escaped inline
+// platform plus a megabyte of spec overhead. Batches at the intended
+// scale reference registered platforms; inlining many large platforms
+// in one batch is the one shape this cap refuses.
+func (c Config) batchBodyLimit() int64 { return 2*c.maxPlatformBytes() + 1<<20 }
+
+// decodeBatch decodes and shape-checks a batch body (shared by the
+// synchronous endpoint and job submission).
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) (*BatchRequest, error) {
+	var req BatchRequest
+	if err := decodeBody(w, r, s.cfg.batchBodyLimit(), &req); err != nil {
+		return nil, err
+	}
+	if len(req.Items) == 0 {
+		return nil, badRequest("a batch needs at least one item")
+	}
+	if max := s.cfg.maxBatchItems(); len(req.Items) > max {
+		return nil, badRequest("batch has %d items, the limit is %d", len(req.Items), max)
+	}
+	return &req, nil
+}
+
+// planItem answers one effective spec through the full serving stack —
+// registry resolution, plan cache, coalescer — computing, when it must,
+// on the pinned shard lane instead of the key-routed shard. Identical
+// items therefore hit the same cache entries and coalesce into the
+// same flights as interactive /v1/plan traffic. ctx aborts items that
+// have not computed yet; an abandoned flight leadership propagates
+// ctx's error, which coalesced followers do NOT inherit (they re-run;
+// see flightGroup.do).
+func (s *Server) planItem(ctx context.Context, lane int, spec *PlanSpec, noCache bool) (*PlanResponse, error) {
+	res, err := s.resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := res.key()
+	compute := func() (*PlanResponse, error) {
+		if hook := s.batchItemHook; hook != nil {
+			hook()
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var resp *PlanResponse
+		if err := s.pool.runOnEv(lane, func(ev *steady.Evaluator) error {
+			var err error
+			resp, err = executeResolved(ev, res)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		s.cache.put(key, resp)
+		return resp, nil
+	}
+	if noCache {
+		return compute()
+	}
+	if resp, ok := s.cache.get(key); ok {
+		return resp, nil
+	}
+	resp, err, _ := s.flight.do(key, compute)
+	return resp, err
+}
+
+// runBatch executes a batch over the shard lanes and emits the full
+// NDJSON line sequence (plan lines in submission order, then the
+// summary) through emit. It returns the number of item errors.
+//
+// The fan-out mirrors the what-if engine: min(shards, items) workers
+// claim items from an atomic cursor and park each result in a reorder
+// buffer, which releases line i once items 0..i have all landed — the
+// stream order is the submission order whatever the completion order.
+// Workers only hold a shard mutex while actually solving (inside
+// planItem's compute), so batch items coalesce safely with interactive
+// traffic in either direction.
+func (s *Server) runBatch(ctx context.Context, req *BatchRequest, emit func(BatchLine)) int {
+	n := len(req.Items)
+	specs := make([]*PlanSpec, n)
+	for i := range req.Items {
+		specs[i] = req.PlanSpec.merged(&req.Items[i].PlanSpec)
+	}
+
+	type itemResult struct {
+		resp *PlanResponse
+		err  error
+	}
+	results := make([]itemResult, n)
+	ready := make(chan int, n)
+	var next atomic.Int64
+	workers := len(s.pool.shards)
+	if workers > n {
+		workers = n
+	}
+	startLane := int(s.batchLane.Add(1)-1) % len(s.pool.shards)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = itemResult{err: err}
+				} else {
+					resp, err := s.planItem(ctx, lane, specs[i], req.NoCache)
+					results[i] = itemResult{resp: resp, err: err}
+				}
+				ready <- i
+			}
+		}((startLane + w) % len(s.pool.shards))
+	}
+
+	// Reorder buffer: emit item i once it and every predecessor landed.
+	itemErrors := 0
+	done := make([]bool, n)
+	emitted := 0
+	for emitted < n {
+		done[<-ready] = true
+		for emitted < n && done[emitted] {
+			line := BatchLine{Kind: "plan", Index: emitted}
+			if r := results[emitted]; r.err != nil {
+				_, body := errorBody(r.err)
+				line.Error = &body
+				itemErrors++
+			} else {
+				line.Plan = r.resp
+			}
+			emit(line)
+			emitted++
+		}
+	}
+	wg.Wait()
+	emit(BatchLine{Kind: "summary", Items: n, ErrorCount: itemErrors})
+
+	s.mu.Lock()
+	s.batch.Requests++
+	s.batch.Items += int64(n)
+	s.batch.Errors += int64(itemErrors)
+	s.mu.Unlock()
+	return itemErrors
+}
+
+// handleBatch is POST /v1/plan:batch: the batch engine streaming
+// straight onto the connection. A client hang-up mid-stream cancels
+// the remaining items (they drain as canceled error lines instead of
+// solving), so a dead batch does not hold the shard lanes against live
+// traffic — cancellation never changes bytes a client actually reads,
+// because a canceled request has no reader.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeBatch(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	s.runBatch(r.Context(), req, func(line BatchLine) {
+		enc.Encode(line) //nolint:errcheck // client gone: keep draining, nothing to report
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+}

@@ -113,12 +113,12 @@ func TestConcurrentPlansBitIdenticalToSerial(t *testing.T) {
 		for j, id := range spec.targets {
 			names[j] = entry.g.Name(id)
 		}
-		requests[i], err = json.Marshal(PlanRequest{
+		requests[i], err = json.Marshal(PlanRequest{PlanSpec: PlanSpec{
 			PlatformID: "tiers-small",
 			Targets:    names,
 			Bounds:     spec.bounds,
 			Heuristics: spec.heuristics,
-		})
+		}})
 		if err != nil {
 			t.Fatal(err)
 		}

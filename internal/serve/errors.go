@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode is the machine-readable error class of the v1 API. Every
+// error body — whatever the endpoint — is the structured envelope
+//
+//	{"error":{"code":"bad_request","message":"..."}}
+//
+// so clients branch on the code and log the message. The HTTP status
+// is derived from the code (and never the other way around): codes are
+// the contract, statuses are the transport mapping.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request is malformed or references unknown
+	// nodes/bounds/heuristics. HTTP 400.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound: the referenced platform or job does not exist (or a
+	// job was already evicted by TTL). HTTP 404.
+	CodeNotFound ErrorCode = "not_found"
+	// CodePlatformConflict: the request addresses a platform two
+	// contradictory ways (platform_id and an inline platform together).
+	// HTTP 400 — the historical status of this error, kept stable.
+	CodePlatformConflict ErrorCode = "platform_conflict"
+	// CodeSaturated: the async job store is at its admission limits
+	// (max queued jobs or max in-flight items). HTTP 429 with a
+	// Retry-After header.
+	CodeSaturated ErrorCode = "saturated"
+	// CodeCanceled: the computation was abandoned — a canceled job's
+	// remaining batch items carry this code in their per-item error
+	// bodies. (Never a top-level HTTP error: a canceled request has no
+	// reader.)
+	CodeCanceled ErrorCode = "canceled"
+	// CodeInternal: the solve stack failed on a validated instance.
+	// HTTP 500.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorBody is the inner object of the v1 error envelope.
+type ErrorBody struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorEnvelope is the body of every v1 error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// apiError carries an HTTP status and an ErrorCode alongside the
+// message. Handlers return it through writeError; errors that are not
+// apiErrors render as code "internal" at 500.
+type apiError struct {
+	status int
+	code   ErrorCode
+	msg    string
+	// retryAfterSecs > 0 sets a Retry-After header (saturation).
+	retryAfterSecs int
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusNotFound, code: CodeNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// platformConflict keeps the historical 400 status of the
+// "platform_id and platform are mutually exclusive" error while giving
+// it its own machine-readable code.
+func platformConflict(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodePlatformConflict, msg: fmt.Sprintf(format, args...)}
+}
+
+func saturated(retryAfterSecs int, format string, args ...any) *apiError {
+	return &apiError{
+		status:         http.StatusTooManyRequests,
+		code:           CodeSaturated,
+		msg:            fmt.Sprintf(format, args...),
+		retryAfterSecs: retryAfterSecs,
+	}
+}
+
+// writeError renders err as the v1 error envelope. Unclassified errors
+// are internal server errors by definition: resolve validates
+// everything client-controlled up front.
+func writeError(w http.ResponseWriter, err error) {
+	status, body := errorBody(err)
+	var ae *apiError
+	if errors.As(err, &ae) && ae.retryAfterSecs > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", ae.retryAfterSecs))
+	}
+	writeJSON(w, status, ErrorEnvelope{Error: body})
+}
+
+// errorBody classifies err into (status, envelope body). Context
+// cancellations map to CodeCanceled — they only ever appear in
+// per-item batch lines, never as a top-level response.
+func errorBody(err error) (int, ErrorBody) {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status, ErrorBody{Code: ae.code, Message: ae.msg}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusInternalServerError, ErrorBody{Code: CodeCanceled, Message: err.Error()}
+	}
+	return http.StatusInternalServerError, ErrorBody{Code: CodeInternal, Message: err.Error()}
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pollJob polls a job until it leaves the running state (or the test
+// times out via the harness deadline).
+func pollJob(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	for {
+		w := doJSON(t, s, http.MethodGet, "/v1/jobs/"+id, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("poll %s: %d %s", id, w.Code, w.Body.String())
+		}
+		st := decodeJSON[JobStatus](t, w)
+		if st.State != JobRunning {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, s *Server, req BatchRequest) JobStatus {
+	t.Helper()
+	w := doJSON(t, s, http.MethodPost, "/v1/jobs", req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", w.Code, w.Body.String())
+	}
+	return decodeJSON[JobStatus](t, w)
+}
+
+// TestJobLifecycle: submit → poll to done → stream, with the job's
+// stream byte-identical to the synchronous batch endpoint's response
+// for the same request.
+func TestJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	uploadDiamond(t, s, "d")
+
+	req := BatchRequest{
+		PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items: []BatchItem{
+			{PlanSpec{Targets: []string{"t1"}}},
+			{PlanSpec{Targets: []string{"t2"}}},
+			{PlanSpec{Targets: []string{"t1", "t2"}}},
+		},
+	}
+	// The synchronous reference first (also warms the cache; cached
+	// items must still produce identical job stream bytes).
+	bw := doJSON(t, s, http.MethodPost, "/v1/plan:batch", req)
+	if bw.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", bw.Code, bw.Body.String())
+	}
+
+	sub := submitJob(t, s, req)
+	if sub.ID == "" || sub.Items != 3 {
+		t.Fatalf("submit status %+v", sub)
+	}
+	st := pollJob(t, s, sub.ID)
+	if st.State != JobDone || st.Completed != 3 || st.Failed != 0 || st.FinishedUnix == 0 {
+		t.Fatalf("final status %+v", st)
+	}
+
+	sw := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID+"/stream", nil)
+	if sw.Code != http.StatusOK {
+		t.Fatalf("stream: %d %s", sw.Code, sw.Body.String())
+	}
+	if !bytes.Equal(sw.Body.Bytes(), bw.Body.Bytes()) {
+		t.Errorf("job stream diverged from the batch endpoint:\njob   %s\nbatch %s", sw.Body.Bytes(), bw.Body.Bytes())
+	}
+	if int64(len(sw.Body.Bytes())) != st.Bytes {
+		t.Errorf("stream is %d bytes, status says %d", len(sw.Body.Bytes()), st.Bytes)
+	}
+
+	// The job list includes it.
+	lw := doJSON(t, s, http.MethodGet, "/v1/jobs", nil)
+	list := decodeJSON[[]JobStatus](t, lw)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Errorf("job list %+v", list)
+	}
+}
+
+// TestJobStreamResume: ?offset=N serves exactly stream[N:] for every
+// offset, and offsets beyond a finished stream are 400s.
+func TestJobStreamResume(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	uploadDiamond(t, s, "d")
+	sub := submitJob(t, s, BatchRequest{
+		PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items:    []BatchItem{{PlanSpec{Targets: []string{"t1"}}}, {PlanSpec{Targets: []string{"t2"}}}},
+	})
+	pollJob(t, s, sub.ID)
+	full := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID+"/stream", nil).Body.Bytes()
+	if len(full) == 0 {
+		t.Fatal("empty stream")
+	}
+
+	for _, off := range []int{0, 1, len(full) / 2, len(full) - 1, len(full)} {
+		w := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID+"/stream?offset="+strconv.Itoa(off), nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("offset %d: %d %s", off, w.Code, w.Body.String())
+		}
+		if !bytes.Equal(w.Body.Bytes(), full[off:]) {
+			t.Errorf("offset %d: resumed bytes differ from stream[%d:]", off, off)
+		}
+	}
+
+	for _, bad := range []string{strconv.Itoa(len(full) + 1), "-1", "zig"} {
+		w := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID+"/stream?offset="+bad, nil)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("offset %q: %d, want 400", bad, w.Code)
+		}
+		if env := decodeJSON[ErrorEnvelope](t, w); env.Error.Code != CodeBadRequest {
+			t.Errorf("offset %q: code %q", bad, env.Error.Code)
+		}
+	}
+}
+
+// TestJobTTLEviction: finished jobs are reaped lazily once past the
+// TTL — polls 404, stats count the eviction.
+func TestJobTTLEviction(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, JobTTL: time.Minute})
+	uploadDiamond(t, s, "d")
+	sub := submitJob(t, s, BatchRequest{
+		PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items:    []BatchItem{{PlanSpec{Targets: []string{"t1"}}}},
+	})
+	pollJob(t, s, sub.ID)
+
+	// Still visible inside the TTL.
+	if w := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID, nil); w.Code != http.StatusOK {
+		t.Fatalf("pre-TTL poll: %d", w.Code)
+	}
+
+	// Advance the store's clock beyond the TTL.
+	s.jobs.mu.Lock()
+	s.jobs.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	s.jobs.mu.Unlock()
+
+	w := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID, nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("post-TTL poll: %d, want 404", w.Code)
+	}
+	if env := decodeJSON[ErrorEnvelope](t, w); env.Error.Code != CodeNotFound {
+		t.Errorf("post-TTL code %q", env.Error.Code)
+	}
+	st := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Jobs.Evicted != 1 || st.Jobs.Done != 1 {
+		t.Errorf("job stats %+v", st.Jobs)
+	}
+}
+
+// TestJobAdmissionControl: MaxJobs and MaxJobItems refuse submissions
+// with 429/saturated plus a Retry-After header, and the refusals are
+// counted.
+func TestJobAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, MaxJobs: 1, MaxJobItems: 4})
+	uploadDiamond(t, s, "d")
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.batchItemHook = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	one := BatchRequest{
+		PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items:    []BatchItem{{PlanSpec{Targets: []string{"t1"}}}},
+	}
+	sub := submitJob(t, s, one)
+	<-entered // the job is mid-item, definitely unfinished
+
+	// Second job: over MaxJobs.
+	w := doJSON(t, s, http.MethodPost, "/v1/jobs", one)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over MaxJobs: %d %s", w.Code, w.Body.String())
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Error("no Retry-After header on a saturated refusal")
+	}
+	if env := decodeJSON[ErrorEnvelope](t, w); env.Error.Code != CodeSaturated {
+		t.Errorf("saturated code %q", env.Error.Code)
+	}
+
+	close(gate)
+	pollJob(t, s, sub.ID)
+
+	// Oversized job: over MaxJobItems even with no active jobs.
+	s.batchItemHook = nil
+	big := BatchRequest{PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}}}
+	for i := 0; i < 5; i++ {
+		big.Items = append(big.Items, BatchItem{PlanSpec{Targets: []string{"t1"}}})
+	}
+	if w := doJSON(t, s, http.MethodPost, "/v1/jobs", big); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over MaxJobItems: %d %s", w.Code, w.Body.String())
+	}
+
+	st := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st.Jobs.Refused != 2 || st.Jobs.Submitted != 1 {
+		t.Errorf("job stats %+v", st.Jobs)
+	}
+	if st.Jobs.PendingItems != 0 {
+		t.Errorf("pending items %d after drain, want 0", st.Jobs.PendingItems)
+	}
+}
+
+// TestJobCancelMidBatch: DELETE mid-run drains the remaining items as
+// "canceled" error lines and lands the job in state canceled, with
+// every line still emitted in submission order.
+func TestJobCancelMidBatch(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	uploadDiamond(t, s, "d")
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var once sync.Once
+	s.batchItemHook = func() {
+		once.Do(func() { entered <- struct{}{} })
+		<-gate
+	}
+	req := BatchRequest{
+		PlanSpec: PlanSpec{PlatformID: "d", Heuristics: []string{}},
+		Items: []BatchItem{
+			{PlanSpec{Targets: []string{"t1"}}},
+			{PlanSpec{Targets: []string{"t2"}}},
+			{PlanSpec{Targets: []string{"t1", "t2"}}},
+		},
+	}
+	sub := submitJob(t, s, req)
+	<-entered // the first item is inside its flight, blocked
+
+	cw := doJSON(t, s, http.MethodDelete, "/v1/jobs/"+sub.ID, nil)
+	if cw.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", cw.Code, cw.Body.String())
+	}
+	close(gate)
+
+	st := pollJob(t, s, sub.ID)
+	if st.State != JobCanceled {
+		t.Fatalf("state %q, want canceled", st.State)
+	}
+	if st.Completed != 3 || st.Failed == 0 {
+		t.Errorf("status %+v: want all 3 lines emitted with >= 1 canceled", st)
+	}
+
+	sw := doJSON(t, s, http.MethodGet, "/v1/jobs/"+sub.ID+"/stream", nil)
+	var canceled int
+	for _, raw := range bytes.Split(bytes.TrimSuffix(sw.Body.Bytes(), []byte("\n")), []byte("\n")) {
+		var line BatchLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatalf("bad line %q: %v", raw, err)
+		}
+		if line.Kind == "plan" && line.Error != nil {
+			if line.Error.Code != CodeCanceled {
+				t.Errorf("error line code %q, want canceled", line.Error.Code)
+			}
+			canceled++
+		}
+	}
+	if canceled != st.Failed {
+		t.Errorf("%d canceled lines, status says %d failed", canceled, st.Failed)
+	}
+
+	// Cancelling a finished job is a no-op reporting the final state.
+	cw = doJSON(t, s, http.MethodDelete, "/v1/jobs/"+sub.ID, nil)
+	if cw.Code != http.StatusOK || decodeJSON[JobStatus](t, cw).State != JobCanceled {
+		t.Errorf("re-cancel: %d %s", cw.Code, cw.Body.String())
+	}
+
+	st2 := decodeJSON[StatsResponse](t, doJSON(t, s, http.MethodGet, "/v1/stats", nil))
+	if st2.Jobs.Canceled != 1 || st2.Jobs.PendingItems != 0 {
+		t.Errorf("job stats %+v", st2.Jobs)
+	}
+}
+
+// TestCanceledJobLeaderDoesNotPoisonFollower extends the PR 4
+// canceled-leader regression across the batch/interactive boundary: a
+// job item that leads a flight and is then canceled must not hand its
+// cancellation to an interactive request coalesced behind the same
+// key — the follower re-runs and gets the real plan.
+func TestCanceledJobLeaderDoesNotPoisonFollower(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	uploadDiamond(t, s, "d")
+
+	spec := PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{}}
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{}, 1)
+	s.batchItemHook = func() {
+		select {
+		case leaderIn <- struct{}{}:
+		default:
+		}
+		<-gate
+	}
+
+	sub := submitJob(t, s, BatchRequest{Items: []BatchItem{{spec}}})
+	<-leaderIn // the job item holds the flight leadership, blocked
+
+	// Interactive request for the identical key: it coalesces behind
+	// the doomed leader. The hook only gates the batch path, so the
+	// follower's retry computes normally.
+	planBody, err := json.Marshal(PlanRequest{PlanSpec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(planBody)))
+		followerDone <- w
+	}()
+	// Wait until the interactive request is actually coalesced.
+	for {
+		if s.flight.coalescedCount() >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	doJSON(t, s, http.MethodDelete, "/v1/jobs/"+sub.ID, nil)
+	close(gate)
+
+	fw := <-followerDone
+	if fw.Code != http.StatusOK {
+		t.Fatalf("follower inherited the cancellation: %d %s", fw.Code, fw.Body.String())
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(fw.Body.Bytes(), &resp); err != nil || len(resp.Bounds) == 0 {
+		t.Fatalf("follower response: %v %s", err, fw.Body.String())
+	}
+
+	st := pollJob(t, s, sub.ID)
+	if st.State != JobCanceled || st.Failed != 1 {
+		t.Errorf("job status %+v, want canceled with its one item failed", st)
+	}
+}

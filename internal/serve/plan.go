@@ -21,27 +21,13 @@ const (
 
 var boundOrder = []string{BoundScatter, BoundLB, BoundBroadcast}
 
-// PlanRequest is the body of POST /v1/plan. Exactly one of PlatformID
-// (a registered platform) or Platform (an inline description in the
-// graph text format) must be set.
+// PlanRequest is the body of POST /v1/plan: the shared PlanSpec
+// request core (exactly one of platform_id or an inline platform must
+// be set) plus the interactive-only caching control. The JSON layout
+// is identical to the historical flat struct — PlanSpec's fields are
+// promoted into the object.
 type PlanRequest struct {
-	PlatformID string `json:"platform_id,omitempty"`
-	Platform   string `json:"platform,omitempty"`
-	// Source is the source node name; optional when the registered
-	// platform declared a default source.
-	Source string `json:"source,omitempty"`
-	// Targets are the target node names, in request order (the order is
-	// part of the plan identity: LP row order follows it).
-	Targets []string `json:"targets"`
-	// Bounds selects the bound programs to run ("scatter", "lb",
-	// "broadcast"). Omitted or null means all three; an explicit empty
-	// list means none. (Deliberately not omitempty: an empty selection
-	// must survive client-side marshaling.)
-	Bounds []string `json:"bounds"`
-	// Heuristics selects the heuristics by registry name ("MCPH",
-	// "Augm. MC", "Red. BC", "Multisource MC", case-insensitive).
-	// Omitted or null means all; an explicit empty list means none.
-	Heuristics []string `json:"heuristics"`
+	PlanSpec
 	// NoCache bypasses the plan cache and the coalescer for this
 	// request (the response is still cached for later requests).
 	NoCache bool `json:"no_cache,omitempty"`

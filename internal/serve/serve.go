@@ -32,6 +32,7 @@ package serve
 
 import (
 	"runtime"
+	"time"
 )
 
 // Config parameterises a Server.
@@ -46,6 +47,21 @@ type Config struct {
 	// MaxPlatformBytes caps an uploaded or inline platform description.
 	// 0 means DefaultMaxPlatformBytes.
 	MaxPlatformBytes int64
+	// MaxBatchItems caps the item count of one POST /v1/plan:batch or
+	// POST /v1/jobs body. 0 means DefaultMaxBatchItems.
+	MaxBatchItems int
+	// MaxJobs caps the unfinished (queued + running) async jobs; a
+	// submit beyond it is refused with 429/saturated. 0 means
+	// DefaultMaxJobs.
+	MaxJobs int
+	// MaxJobItems caps the total pending items across unfinished async
+	// jobs — the second admission-control axis: many small jobs hit
+	// MaxJobs, a few huge ones hit MaxJobItems. 0 means
+	// DefaultMaxJobItems.
+	MaxJobItems int
+	// JobTTL is how long a finished (done or canceled) job's results
+	// stay retrievable before eviction. 0 means DefaultJobTTL.
+	JobTTL time.Duration
 }
 
 // DefaultCacheSize is the plan cache capacity when Config.CacheSize is
@@ -79,4 +95,48 @@ func (c Config) maxPlatformBytes() int64 {
 		return DefaultMaxPlatformBytes
 	}
 	return c.MaxPlatformBytes
+}
+
+// DefaultMaxBatchItems caps one batch or job submission when
+// Config.MaxBatchItems is zero.
+const DefaultMaxBatchItems = 1024
+
+// DefaultMaxJobs caps unfinished async jobs when Config.MaxJobs is
+// zero.
+const DefaultMaxJobs = 16
+
+// DefaultMaxJobItems caps pending items across unfinished async jobs
+// when Config.MaxJobItems is zero.
+const DefaultMaxJobItems = 8192
+
+// DefaultJobTTL is how long finished jobs stay retrievable when
+// Config.JobTTL is zero.
+const DefaultJobTTL = 10 * time.Minute
+
+func (c Config) maxBatchItems() int {
+	if c.MaxBatchItems <= 0 {
+		return DefaultMaxBatchItems
+	}
+	return c.MaxBatchItems
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return DefaultMaxJobs
+	}
+	return c.MaxJobs
+}
+
+func (c Config) maxJobItems() int {
+	if c.MaxJobItems <= 0 {
+		return DefaultMaxJobItems
+	}
+	return c.MaxJobItems
+}
+
+func (c Config) jobTTL() time.Duration {
+	if c.JobTTL <= 0 {
+		return DefaultJobTTL
+	}
+	return c.JobTTL
 }

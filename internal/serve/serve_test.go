@@ -123,16 +123,16 @@ func TestPlanValidation(t *testing.T) {
 		req  PlanRequest
 		want int
 	}{
-		{PlanRequest{PlatformID: "missing", Targets: []string{"t1"}}, http.StatusNotFound},
-		{PlanRequest{Targets: []string{"t1"}}, http.StatusBadRequest},                                            // no platform
-		{PlanRequest{PlatformID: "d", Platform: diamondText, Targets: []string{"t1"}}, http.StatusBadRequest},    // both
-		{PlanRequest{PlatformID: "d"}, http.StatusBadRequest},                                                    // no targets
-		{PlanRequest{PlatformID: "d", Targets: []string{"zz"}}, http.StatusBadRequest},                           // unknown target
-		{PlanRequest{PlatformID: "d", Source: "zz", Targets: []string{"t1"}}, http.StatusBadRequest},             // unknown source
-		{PlanRequest{PlatformID: "d", Targets: []string{"t1", "t1"}}, http.StatusBadRequest},                     // duplicate target
-		{PlanRequest{PlatformID: "d", Targets: []string{"S"}}, http.StatusBadRequest},                            // source as target
-		{PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Bounds: []string{"nope"}}, http.StatusBadRequest}, // unknown bound
-		{PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"zz"}}, http.StatusBadRequest},
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "missing", Targets: []string{"t1"}}}, http.StatusNotFound},
+		{PlanRequest{PlanSpec: PlanSpec{Targets: []string{"t1"}}}, http.StatusBadRequest},                                            // no platform
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Platform: diamondText, Targets: []string{"t1"}}}, http.StatusBadRequest},    // both
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d"}}, http.StatusBadRequest},                                                    // no targets
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"zz"}}}, http.StatusBadRequest},                           // unknown target
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Source: "zz", Targets: []string{"t1"}}}, http.StatusBadRequest},             // unknown source
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t1"}}}, http.StatusBadRequest},                     // duplicate target
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"S"}}}, http.StatusBadRequest},                            // source as target
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Bounds: []string{"nope"}}}, http.StatusBadRequest}, // unknown bound
+		{PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"zz"}}}, http.StatusBadRequest},
 	}
 	for i, c := range cases {
 		if w := doJSON(t, s, http.MethodPost, "/v1/plan", c.req); w.Code != c.want {
@@ -147,7 +147,7 @@ func TestPlanValidation(t *testing.T) {
 func TestPlanMatchesLibrary(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 3})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
-	w := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlatformID: "d", Targets: []string{"t1", "t2"}})
+	w := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}}})
 	if w.Code != http.StatusOK {
 		t.Fatalf("plan: %d %s", w.Code, w.Body.String())
 	}
@@ -210,7 +210,7 @@ func TestPlanMatchesLibrary(t *testing.T) {
 func TestPlanCacheAndHeaders(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
-	req := PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"MCPH"}}
+	req := PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"MCPH"}}}
 
 	w1 := doJSON(t, s, http.MethodPost, "/v1/plan", req)
 	if w1.Code != http.StatusOK {
@@ -244,7 +244,7 @@ func TestPlanCacheAndHeaders(t *testing.T) {
 func TestReuploadInvalidatesCache(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 1})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
-	req := PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{}}
+	req := PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{}}}
 	w1 := doJSON(t, s, http.MethodPost, "/v1/plan", req)
 	resp1 := decodeJSON[PlanResponse](t, w1)
 
@@ -386,8 +386,8 @@ func TestRouteHashSpreads(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
-	doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlatformID: "d", Targets: []string{"t1", "t2"}, Heuristics: []string{}})
-	doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlatformID: "d", Targets: []string{"t1", "t2"}, Heuristics: []string{}})
+	doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}, Heuristics: []string{}}})
+	doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}, Heuristics: []string{}}})
 
 	w := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
 	st := decodeJSON[StatsResponse](t, w)
@@ -421,10 +421,7 @@ func TestHealthz(t *testing.T) {
 // platform instead of registering it.
 func TestInlinePlatformPlan(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 1})
-	w := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{
-		Platform: diamondText, Source: "S", Targets: []string{"t1"},
-		Bounds: []string{"scatter"}, Heuristics: []string{"mcph"}, // case-insensitive
-	})
+	w := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlanSpec: PlanSpec{Platform: diamondText, Source: "S", Targets: []string{"t1"}, Bounds: []string{"scatter"}, Heuristics: []string{"mcph"}}})
 	if w.Code != http.StatusOK {
 		t.Fatalf("inline plan: %d %s", w.Code, w.Body.String())
 	}

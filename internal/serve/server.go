@@ -2,11 +2,11 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -84,6 +84,8 @@ type StatsResponse struct {
 	PlanCache     CacheStats               `json:"plan_cache"`
 	Coalesced     int64                    `json:"coalesced"`
 	Whatif        WhatifStats              `json:"whatif"`
+	Batch         BatchStats               `json:"batch"`
+	Jobs          JobStats                 `json:"jobs"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -96,12 +98,26 @@ type Server struct {
 	pool   *shardPool
 	cache  *planCache
 	flight *flightGroup
+	jobs   *jobStore
 	mux    *http.ServeMux
 	start  time.Time
+
+	// batchLane rotates the starting lane of batch fan-outs so
+	// concurrent batches spread over the pool instead of piling onto
+	// lane 0. The lane choice never affects response bytes (every lane's
+	// evaluator is Reset before use), only load spreading.
+	batchLane atomic.Int64
+
+	// batchItemHook, when set, runs inside every batch item's flight
+	// leadership, before the item acquires its shard lane. Tests use it
+	// to gate batch compute mid-flight (cancellation and coalescing
+	// regressions); nil in production.
+	batchItemHook func()
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointAccum
 	whatif    WhatifStats
+	batch     BatchStats
 }
 
 type endpointAccum struct {
@@ -118,6 +134,7 @@ func New(cfg Config) *Server {
 		pool:      newShardPool(cfg.shards()),
 		cache:     newPlanCache(cfg.cacheSize()),
 		flight:    newFlightGroup(),
+		jobs:      newJobStore(cfg.maxJobs(), cfg.maxJobItems(), cfg.jobTTL()),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointAccum),
@@ -127,7 +144,13 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/platforms", s.handleListPlatforms)
 	s.route("GET /v1/platforms/{id}", s.handleGetPlatform)
 	s.route("POST /v1/plan", s.handlePlan)
+	s.route("POST /v1/plan:batch", s.handleBatch)
 	s.route("POST /v1/whatif", s.handleWhatif)
+	s.route("POST /v1/jobs", s.handleSubmitJob)
+	s.route("GET /v1/jobs", s.handleListJobs)
+	s.route("GET /v1/jobs/{id}", s.handleGetJob)
+	s.route("GET /v1/jobs/{id}/stream", s.handleStreamJob)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.route("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -180,32 +203,12 @@ func (s *Server) observe(pattern string, status int, d time.Duration) {
 
 // --- helpers ----------------------------------------------------------
 
-type apiError struct {
-	status int
-	msg    string
-}
-
-func (e *apiError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
-}
-
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	var ae *apiError
-	if errors.As(err, &ae) {
-		status = ae.status
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
@@ -316,7 +319,7 @@ func (s *Server) handleListPlatforms(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetPlatform(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, &apiError{status: http.StatusNotFound, msg: "unknown platform id"})
+		writeError(w, notFound("unknown platform id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.platformInfo(e))
@@ -334,8 +337,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Coalesced:     s.flight.coalescedCount(),
 		Endpoints:     make(map[string]EndpointStats),
 	}
+	resp.Jobs = s.jobs.stats()
 	s.mu.Lock()
 	resp.Whatif = s.whatif
+	resp.Batch = s.batch
 	for pattern, a := range s.endpoints {
 		es := EndpointStats{
 			Count:       a.count,
@@ -372,106 +377,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// resolved is a plan or what-if request resolved against the registry:
-// the platform graph, its fingerprint, the registered ID ("" for
-// inline platforms), source/target node IDs, and the validated steady
-// Problem built from them.
-type resolved struct {
-	g       *graph.Graph
-	fp      uint64
-	id      string
-	source  graph.NodeID
-	targets []graph.NodeID
-	p       steady.Problem
-}
-
-// resolve turns wire-level platform/source/target references into a
-// validated instance. Malformed requests fail here with a 4xx
-// apiError, so later execution failures are genuine 500s.
-func (s *Server) resolve(platformID, platform, sourceName string, targetNames []string) (*resolved, error) {
-	r := &resolved{}
-	var src string
-	switch {
-	case platformID != "" && platform != "":
-		return nil, badRequest("platform_id and platform are mutually exclusive")
-	case platformID != "":
-		e, ok := s.reg.get(platformID)
-		if !ok {
-			return nil, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown platform id %q", platformID)}
-		}
-		// Registered platforms are immutable: reuse the fingerprint
-		// hashed at upload instead of re-walking the graph per request.
-		r.g, r.fp, r.id, src = e.g, e.fp, e.id, e.sourceName
-	case platform != "":
-		var err error
-		r.g, err = decodePlatform(platform, s.cfg.maxPlatformBytes())
-		if err != nil {
-			return nil, err
-		}
-		r.fp = steady.Fingerprint(r.g)
-	default:
-		return nil, badRequest("one of platform_id or platform is required")
-	}
-	if sourceName != "" {
-		src = sourceName
-	}
-	if src == "" {
-		return nil, badRequest("source is required (the platform declares no default)")
-	}
-	source, ok := r.g.NodeByName(src)
-	if !ok {
-		return nil, badRequest("unknown source node %q", src)
-	}
-	r.source = source
-	if len(targetNames) == 0 {
-		return nil, badRequest("at least one target is required")
-	}
-	r.targets = make([]graph.NodeID, len(targetNames))
-	for i, name := range targetNames {
-		t, ok := r.g.NodeByName(name)
-		if !ok {
-			return nil, badRequest("unknown target node %q", name)
-		}
-		r.targets[i] = t
-	}
-	// Validate the instance up front (duplicate targets, source in the
-	// target set, inactive nodes).
-	p, err := steady.NewProblem(r.g, r.source, r.targets)
-	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	r.p = p
-	return r, nil
-}
-
 // Plan resolves and executes one plan request through the full serving
 // stack (registry, cache, coalescer, shard pool). It returns the
 // response, how it was served ("hit", "coalesced" or "miss") and the
 // executing shard index (-1 unless this call computed the plan).
 // It is the library entry point behind POST /v1/plan.
 func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
-	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	res, err := s.resolve(&req.PlanSpec)
 	if err != nil {
 		return nil, "", -1, err
 	}
-	g, fp, id, source, targets := res.g, res.fp, res.id, res.source, res.targets
-	bounds, err := boundsMask(req.Bounds)
-	if err != nil {
-		return nil, "", -1, badRequest("%v", err)
-	}
-	heurs, err := heurMask(req.Heuristics)
-	if err != nil {
-		return nil, "", -1, badRequest("%v", err)
-	}
-
-	key := planKey{
-		id:      id,
-		fp:      fp,
-		source:  source,
-		targets: targetsKey(targets),
-		bounds:  bounds,
-		heurs:   heurs,
-	}
+	key := res.key()
 	// execIdx records the shard this call computed on; it stays -1 for
 	// cache hits and coalesced followers (whose leader has its own
 	// Plan frame and execIdx).
@@ -480,14 +396,13 @@ func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
 		var resp *PlanResponse
 		idx, err := s.pool.run(key, func(ev *steady.Evaluator) error {
 			var err error
-			resp, err = executePlan(ev, g, fp, source, targets, bounds, heurs)
+			resp, err = executeResolved(ev, res)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		execIdx = idx
-		resp.PlatformID = id
 		s.cache.put(key, resp)
 		return resp, nil
 	}

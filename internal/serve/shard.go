@@ -41,12 +41,26 @@ func newShardPool(n int) *shardPool {
 // returns the shard index for the response metadata.
 func (p *shardPool) run(key planKey, fn func(ev *steady.Evaluator) error) (int, error) {
 	idx := int(key.routeHash() % uint64(len(p.shards)))
+	return idx, p.runOnEv(idx, fn)
+}
+
+// runOnEv executes fn on shard idx's freshly Reset evaluator,
+// serialised with the shard's other work. The batch fan-out pins each
+// worker to one lane and computes every claimed item here — the lane
+// choice cannot change response bytes (the evaluator is Reset per
+// item), it only decides which lane's lock the work queues on.
+//
+// Lock discipline: a goroutine must never block on another flight or
+// shard while it holds a shard mutex — batch workers wait out
+// coalesced flights *outside* runOnEv, which is what makes a batch
+// follower of an interactive leader (and vice versa) deadlock-free.
+func (p *shardPool) runOnEv(idx int, fn func(ev *steady.Evaluator) error) error {
 	s := p.shards[idx]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ev.Reset()
 	s.served++
-	return idx, fn(s.ev)
+	return fn(s.ev)
 }
 
 // runOn serialises fn with the other work of shard idx without

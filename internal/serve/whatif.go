@@ -13,13 +13,13 @@ import (
 	"repro/internal/whatif"
 )
 
-// WhatifRequest is the body of POST /v1/whatif: the same platform /
-// source / target addressing as PlanRequest plus the scenario family.
+// WhatifRequest is the body of POST /v1/whatif: the shared PlanSpec
+// request core (platform / source / target addressing) plus the
+// scenario family. The PlanSpec bounds/heuristics subsets have no
+// meaning for what-if analysis — a request that sets either is
+// rejected with bad_request rather than silently ignored.
 type WhatifRequest struct {
-	PlatformID string   `json:"platform_id,omitempty"`
-	Platform   string   `json:"platform,omitempty"`
-	Source     string   `json:"source,omitempty"`
-	Targets    []string `json:"targets"`
+	PlanSpec
 	// NodeFailures selects the single-node-failure family; omitted (or
 	// null) means enabled.
 	NodeFailures *bool `json:"node_failures,omitempty"`
@@ -243,7 +243,11 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	if req.Bounds != nil || req.Heuristics != nil {
+		writeError(w, badRequest("bounds and heuristics subsets are not valid for what-if requests"))
+		return
+	}
+	res, err := s.resolve(&req.PlanSpec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -254,7 +258,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := res.p
-	key := planKey{id: res.id, fp: res.fp, source: res.source, targets: targetsKey(res.targets)}
+	key := res.key()
 	var base *whatif.Baseline
 	if _, err := s.pool.run(key, func(ev *steady.Evaluator) error {
 		var err error

@@ -20,7 +20,7 @@ import (
 // fan-out must reproduce byte for byte.
 func expectedWhatifBody(t *testing.T, s *Server, req *WhatifRequest) []byte {
 	t.Helper()
-	res, err := s.resolve(req.PlatformID, req.Platform, req.Source, req.Targets)
+	res, err := s.resolve(&req.PlanSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,9 +60,7 @@ func expectedWhatifBody(t *testing.T, s *Server, req *WhatifRequest) []byte {
 func TestWhatifEndpoint(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
-	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
-		PlatformID: "d", Targets: []string{"t1", "t2"},
-	})
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}}})
 	if w.Code != http.StatusOK {
 		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
 	}
@@ -129,12 +127,12 @@ func TestWhatifValidation(t *testing.T) {
 		req  WhatifRequest
 		want int
 	}{
-		{WhatifRequest{PlatformID: "missing", Targets: []string{"t1"}}, http.StatusNotFound},
-		{WhatifRequest{PlatformID: "d"}, http.StatusBadRequest},                                              // no targets
-		{WhatifRequest{PlatformID: "d", Targets: []string{"zz"}}, http.StatusBadRequest},                     // unknown target
-		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, EdgeFactors: f(-1)}, http.StatusBadRequest}, // negative factor
-		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, FailNodes: []string{"zz"}}, http.StatusBadRequest},
-		{WhatifRequest{PlatformID: "d", Targets: []string{"t1"}, Sources: []string{"zz"}}, http.StatusBadRequest},
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "missing", Targets: []string{"t1"}}}, http.StatusNotFound},
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d"}}, http.StatusBadRequest},                                              // no targets
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"zz"}}}, http.StatusBadRequest},                     // unknown target
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}}, EdgeFactors: f(-1)}, http.StatusBadRequest}, // negative factor
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}}, FailNodes: []string{"zz"}}, http.StatusBadRequest},
+		{WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}}, Sources: []string{"zz"}}, http.StatusBadRequest},
 	}
 	for i, c := range cases {
 		if w := doJSON(t, s, http.MethodPost, "/v1/whatif", c.req); w.Code != c.want {
@@ -149,13 +147,7 @@ func TestWhatifScenarioSubsets(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
 	off := false
-	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
-		PlatformID:   "d",
-		Targets:      []string{"t1", "t2"},
-		NodeFailures: &off,
-		EdgeFactors:  []float64{},    // none
-		Sources:      []string{"r1"}, // one promotion
-	})
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}}, NodeFailures: &off, EdgeFactors: []float64{}, Sources: []string{"r1"}})
 	if w.Code != http.StatusOK {
 		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
 	}
@@ -185,9 +177,9 @@ func TestConcurrentWhatifBitIdenticalToSerial(t *testing.T) {
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "d", Platform: diamondText, Source: "S"})
 
 	specs := []*WhatifRequest{
-		{PlatformID: "d", Targets: []string{"t1", "t2"}},
-		{PlatformID: "d", Targets: []string{"t1"}, EdgeFactors: []float64{0, 4}},
-		{PlatformID: "d", Targets: []string{"t2", "t1"}, Sources: []string{}},
+		{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1", "t2"}}},
+		{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}}, EdgeFactors: []float64{0, 4}},
+		{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t2", "t1"}}, Sources: []string{}},
 	}
 	expected := make([][]byte, len(specs))
 	requests := make([][]byte, len(specs))
@@ -200,7 +192,7 @@ func TestConcurrentWhatifBitIdenticalToSerial(t *testing.T) {
 		}
 	}
 
-	planReq, err := json.Marshal(PlanRequest{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"MCPH"}})
+	planReq, err := json.Marshal(PlanRequest{PlanSpec: PlanSpec{PlatformID: "d", Targets: []string{"t1"}, Heuristics: []string{"MCPH"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,10 +254,7 @@ edge a d 4
 func TestWhatifTreeFastPathStats(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	doJSON(t, s, http.MethodPost, "/v1/platforms", UploadRequest{ID: "tr", Platform: treeText, Source: "S"})
-	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{
-		PlatformID: "tr", Targets: []string{"a", "b", "c", "d"},
-		Sources: []string{}, // skip promotions: they have no fast path
-	})
+	w := doJSON(t, s, http.MethodPost, "/v1/whatif", WhatifRequest{PlanSpec: PlanSpec{PlatformID: "tr", Targets: []string{"a", "b", "c", "d"}}, Sources: []string{}})
 	if w.Code != http.StatusOK {
 		t.Fatalf("whatif: %d %s", w.Code, w.Body.String())
 	}
@@ -294,10 +283,7 @@ func TestWhatifTreeFastPathStats(t *testing.T) {
 
 	// A bounds-only plan on the same platform lands its fast-path hits
 	// in the shard solver section.
-	pw := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{
-		PlatformID: "tr", Targets: []string{"c", "d"},
-		Bounds: []string{"lb", "scatter"}, Heuristics: []string{}, NoCache: true,
-	})
+	pw := doJSON(t, s, http.MethodPost, "/v1/plan", PlanRequest{PlanSpec: PlanSpec{PlatformID: "tr", Targets: []string{"c", "d"}, Bounds: []string{"lb", "scatter"}, Heuristics: []string{}}, NoCache: true})
 	if pw.Code != http.StatusOK {
 		t.Fatalf("plan: %d %s", pw.Code, pw.Body.String())
 	}
