@@ -214,6 +214,57 @@ func Serve(addr string, cfg ServeConfig) error {
 	return http.ListenAndServe(addr, serve.New(cfg))
 }
 
+// Live platforms (PATCH /v1/platforms/{id}, GET .../subscribe):
+// platforms are versioned and mutable in place via atomic delta
+// batches, and subscriptions stream a fresh plan per version —
+// byte-identical to a cold solve of that version's snapshot. The
+// same delta vocabulary drives Evaluator.Replan, the warm in-process
+// re-solve; see DESIGN.md Section 14.
+type (
+	// Delta is an ordered, atomically-applied batch of platform
+	// mutations (see DropNode, AddEdge, ScaleEdgeCost, ...).
+	Delta = graph.Delta
+	// DeltaOp is one platform mutation.
+	DeltaOp = graph.DeltaOp
+	// ReplanResult is the outcome of Evaluator.Replan: the re-solved
+	// plan plus whether the warm path or a cold fallback produced it.
+	ReplanResult = steady.ReplanResult
+	// PatchOp is the wire spelling of a DeltaOp: nodes by name, edges
+	// by ID or by endpoint names.
+	PatchOp = serve.PatchOp
+	// PatchRequest is the body of PATCH /v1/platforms/{id}.
+	PatchRequest = serve.PatchRequest
+	// PatchResponse reports the post-patch version and fingerprint plus
+	// cache invalidation/repair counts.
+	PatchResponse = serve.PatchResponse
+	// ChangeRecord is one entry of GET /v1/platforms/{id}/log.
+	ChangeRecord = serve.ChangeRecord
+	// SubscribeLine is one streamed update of GET
+	// /v1/platforms/{id}/subscribe: a version and its plan (or error).
+	SubscribeLine = serve.SubscribeLine
+	// SubscribeSpec selects what a Client.Subscribe stream re-plans.
+	SubscribeSpec = mcastclient.SubscribeSpec
+	// Subscription is a Client.Subscribe pull iterator (Next/Close).
+	Subscription = mcastclient.Subscription
+)
+
+// Delta op constructors, re-exported for library callers driving
+// Evaluator.Replan directly (HTTP callers use the PatchOp wire form).
+func DropNode(v NodeID) DeltaOp    { return graph.DropNodeOp(v) }
+func RestoreNode(v NodeID) DeltaOp { return graph.RestoreNodeOp(v) }
+func AddNode(name string) DeltaOp  { return graph.AddNodeOp(name) }
+func DisableEdge(id int) DeltaOp   { return graph.DisableEdgeOp(id) }
+func EnableEdge(id int) DeltaOp    { return graph.EnableEdgeOp(id) }
+func AddEdge(from, to NodeID, cost float64) DeltaOp {
+	return graph.AddEdgeOp(from, to, cost)
+}
+func SetEdgeCost(id int, cost float64) DeltaOp {
+	return graph.SetEdgeCostOp(id, cost)
+}
+func ScaleEdgeCost(id int, factor float64) DeltaOp {
+	return graph.ScaleEdgeCostOp(id, factor)
+}
+
 // What-if resilience engine (internal/whatif, POST /v1/whatif): given
 // an instance, evaluate node failures, per-edge link failures and
 // bandwidth degradations, and secondary-source promotions — each on an

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	loadgen [-addr http://host:8723] [-shape hot|churn|herd]
+//	loadgen [-addr http://host:8723] [-shape hot|churn|herd|churn-live]
 //	        [-clients N] [-duration 5s] [-seed 1] [-smoke]
 //
 // With no -addr, loadgen starts an in-process daemon on a loopback
@@ -26,6 +26,13 @@
 //	herd   thundering herd: every client fires the identical request
 //	       in synchronized waves, each wave immediately after a
 //	       re-upload — all coalescer, no cache.
+//
+//	churn-live
+//	       the hot shape over a *live* platform: a mutator PATCHes the
+//	       hot platform at a steady tick (exact x2 / x0.5 edge-cost
+//	       scalings, so content revisits earlier fingerprints) while
+//	       two subscribers hold replan streams open — plan cache
+//	       invalidation, repair and version streaming all under load.
 //
 // -smoke runs every shape briefly against an in-process daemon and
 // exits nonzero on any request failure; CI runs it as a serving-stack
@@ -57,7 +64,7 @@ func main() {
 	log.SetPrefix("loadgen: ")
 	var (
 		addr     = flag.String("addr", "", "base URL of a running mcastd (empty starts one in-process)")
-		shape    = flag.String("shape", "hot", "arrival shape: hot, churn or herd")
+		shape    = flag.String("shape", "hot", "arrival shape: hot, churn, herd or churn-live")
 		clients  = flag.Int("clients", 8, "concurrent clients")
 		duration = flag.Duration("duration", 5*time.Second, "length of each measured phase")
 		seed     = flag.Int64("seed", 1, "workload seed (target-set pools, request mix)")
@@ -113,6 +120,9 @@ type workload struct {
 	// churn alternates the hot platform's content between two
 	// generated topologies (fingerprint change → cache invalidation).
 	churnUploads [2]*serve.UploadRequest
+	// hotEdges is the hot platform's edge count — the churn-live
+	// mutator's edge-ID range.
+	hotEdges int
 }
 
 // buildWorkload generates the platforms, uploads them, and prepares
@@ -137,6 +147,7 @@ func buildWorkload(c *mcastclient.Client, seed int64) (*workload, error) {
 				return nil, err
 			}
 			w.hotPool = requestPool(pl, w.hotID, seed, 8)
+			w.hotEdges = pl.G.NumEdges()
 		} else {
 			up2 := *up
 			up2.ID = w.coldID
@@ -189,6 +200,9 @@ type report struct {
 	concurrentRate   float64 // req/s, -clients clients
 	requests, errors int64
 	p50, p90, p99    time.Duration
+	// churn-live only: PATCHes applied and subscriber updates received
+	// during the concurrent phase.
+	patches, liveUpdates int64
 }
 
 func (r *report) print(w *os.File) {
@@ -197,6 +211,9 @@ func (r *report) print(w *os.File) {
 	fmt.Fprintf(w, "  concurrent       %10.1f req/s  (%d requests, %d errors)\n",
 		r.concurrentRate, r.requests, r.errors)
 	fmt.Fprintf(w, "  latency          p50 %s  p90 %s  p99 %s\n", r.p50, r.p90, r.p99)
+	if r.shape == "churn-live" {
+		fmt.Fprintf(w, "  live churn       %d patches, %d subscriber updates\n", r.patches, r.liveUpdates)
+	}
 	if r.concurrentRate >= r.serialRate {
 		fmt.Fprintf(w, "  concurrent/serial %.2fx\n", r.concurrentRate/r.serialRate)
 	} else {
@@ -209,9 +226,9 @@ func (r *report) print(w *os.File) {
 // concurrent phase (with the shape's churn/herd choreography).
 func runShape(c *mcastclient.Client, shape string, clients int, duration time.Duration, seed int64) (*report, error) {
 	switch shape {
-	case "hot", "churn", "herd":
+	case "hot", "churn", "herd", "churn-live":
 	default:
-		return nil, fmt.Errorf("unknown shape %q (want hot, churn or herd)", shape)
+		return nil, fmt.Errorf("unknown shape %q (want hot, churn, herd or churn-live)", shape)
 	}
 	w, err := buildWorkload(c, seed)
 	if err != nil {
@@ -252,12 +269,78 @@ func runShape(c *mcastclient.Client, shape string, clients int, duration time.Du
 		}()
 	}
 
+	// Churn-live choreography: a PATCH mutator scales edge costs by
+	// exact x2 / x0.5 pairs (each pair restores the edge bit-exactly, so
+	// the platform's content cycles through a bounded fingerprint set)
+	// while two subscribers hold replan streams open for the phase.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	var patches, liveUpdates atomic.Int64
+	if shape == "churn-live" {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(duration / 50)
+			defer tick.Stop()
+			edge, inverse := 0, false
+			for {
+				select {
+				case <-stopChurn:
+					return
+				case <-tick.C:
+					factor := 2.0
+					if inverse {
+						factor = 0.5
+					}
+					e := edge
+					_, err := c.PatchPlatform(context.Background(), w.hotID, &serve.PatchRequest{
+						Ops: []serve.PatchOp{{Op: "scale_edge_cost", Edge: &e, Factor: factor}},
+					})
+					if err != nil {
+						log.Printf("churn-live patch: %v", err)
+						return
+					}
+					patches.Add(1)
+					if inverse {
+						edge = (edge + 1) % w.hotEdges
+					}
+					inverse = !inverse
+				}
+			}
+		}()
+		for i := 0; i < 2; i++ {
+			churnWG.Add(1)
+			go func(i int) {
+				defer churnWG.Done()
+				req := w.hotPool[i%len(w.hotPool)]
+				sub, err := c.Subscribe(subCtx, w.hotID, mcastclient.SubscribeSpec{
+					Targets:    req.Targets,
+					Bounds:     req.Bounds,
+					Heuristics: req.Heuristics,
+				})
+				if err != nil {
+					log.Printf("churn-live subscribe: %v", err)
+					return
+				}
+				defer sub.Close()
+				for {
+					if _, err := sub.Next(); err != nil {
+						return // phase over (context canceled) or stream closed
+					}
+					liveUpdates.Add(1)
+				}
+			}(i)
+		}
+	}
+
 	n, lats, err := drive(c, w, clients, duration, seed+1, shape == "herd")
 	close(stopChurn)
+	subCancel()
 	churnWG.Wait()
 	if err != nil {
 		return nil, err
 	}
+	rep.patches, rep.liveUpdates = patches.Load(), liveUpdates.Load()
 	return finishReport(rep, n, lats, duration), nil
 }
 
@@ -378,7 +461,7 @@ func runSmoke(seed int64) error {
 	tr.MaxIdleConnsPerHost = 64
 	c := mcastclient.New(ts.URL, nil)
 
-	for _, shape := range []string{"hot", "churn", "herd"} {
+	for _, shape := range []string{"hot", "churn", "herd", "churn-live"} {
 		rep, err := runShape(c, shape, 4, 400*time.Millisecond, seed)
 		if err != nil {
 			return fmt.Errorf("shape %s: %w", shape, err)
@@ -386,6 +469,10 @@ func runSmoke(seed int64) error {
 		rep.print(os.Stdout)
 		if rep.errors > 0 {
 			return fmt.Errorf("shape %s: %d request errors", shape, rep.errors)
+		}
+		if shape == "churn-live" && (rep.patches == 0 || rep.liveUpdates == 0) {
+			return fmt.Errorf("shape %s: no live churn observed (%d patches, %d updates)",
+				shape, rep.patches, rep.liveUpdates)
 		}
 	}
 

@@ -1,0 +1,267 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePlatform is a mutable versioned source for loop tests.
+type fakePlatform struct {
+	version  atomic.Int64
+	computes atomic.Int64
+	fail     atomic.Bool
+}
+
+func (f *fakePlatform) compute() (int64, json.RawMessage, error) {
+	f.computes.Add(1)
+	v := f.version.Load()
+	if f.fail.Load() {
+		return v, nil, errors.New("boom")
+	}
+	return v, json.RawMessage(fmt.Sprintf(`{"v":%d}`, v)), nil
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSubscribeDeliversCurrentPlanWithoutMutation(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	sub := l.Subscribe()
+	defer sub.Cancel()
+	u, err := sub.Next(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Version != 1 || string(u.Data) != `{"v":1}` {
+		t.Fatalf("first update = %+v", u)
+	}
+}
+
+func TestNotifyCoalescesBursts(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	sub := l.Subscribe()
+	defer sub.Cancel()
+	if _, err := sub.Next(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A burst of mutations: the loop must converge to the final version
+	// without computing once per Notify.
+	for v := int64(2); v <= 50; v++ {
+		fp.version.Store(v)
+		l.Notify()
+	}
+	deadline := testCtx(t)
+	for {
+		u, err := sub.Next(deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Version == 50 {
+			break
+		}
+	}
+	if c := fp.computes.Load(); c > 51 {
+		t.Fatalf("burst of 49 notifies cost %d computes", c)
+	}
+}
+
+func TestLatestWinsBackpressure(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	sub := l.Subscribe()
+	defer sub.Cancel()
+	if _, err := sub.Next(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish several distinct versions while the subscriber is not
+	// reading: each must fully flow through the loop, so wait until the
+	// compute count shows it ran.
+	for v := int64(2); v <= 6; v++ {
+		before := fp.computes.Load()
+		fp.version.Store(v)
+		l.Notify()
+		for fp.computes.Load() == before {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Give the final broadcast a moment to land in the mailbox.
+	var last Update
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		u, err := sub.Next(testCtx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = u
+		if u.Version == 6 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if last.Version != 6 {
+		t.Fatalf("slow subscriber did not converge to newest version: %+v", last)
+	}
+}
+
+func TestUpdatesAreMonotonic(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	sub := l.Subscribe()
+	defer sub.Cancel()
+
+	done := make(chan struct{})
+	var got []int64
+	go func() {
+		defer close(done)
+		ctx := testCtx(t)
+		for {
+			u, err := sub.Next(ctx)
+			if err != nil {
+				return
+			}
+			got = append(got, u.Version)
+			if u.Version == 30 {
+				return
+			}
+		}
+	}()
+	for v := int64(2); v <= 30; v++ {
+		fp.version.Store(v)
+		l.Notify()
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("versions not strictly increasing: %v", got)
+		}
+	}
+}
+
+func TestErrorUpdatesFlowAndRecover(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	fp.fail.Store(true)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	sub := l.Subscribe()
+	defer sub.Cancel()
+	u, err := sub.Next(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Err == nil || u.Data != nil {
+		t.Fatalf("expected error update, got %+v", u)
+	}
+
+	// Same version recovers: the error/success flip must republish.
+	fp.fail.Store(false)
+	l.Notify()
+	u, err = sub.Next(testCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Err != nil || u.Version != 1 {
+		t.Fatalf("expected recovery update for v1, got %+v", u)
+	}
+}
+
+func TestCloseUnblocksSubscribers(t *testing.T) {
+	fp := &fakePlatform{}
+	l := NewLoop(fp.compute)
+	sub := l.Subscribe()
+	if _, err := sub.Next(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background())
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Next after Close = %v, want ErrClosed", err)
+	}
+	l.Close() // idempotent
+}
+
+func TestCancelDetaches(t *testing.T) {
+	fp := &fakePlatform{}
+	l := NewLoop(fp.compute)
+	defer l.Close()
+	a, b := l.Subscribe(), l.Subscribe()
+	if n := l.Subscribers(); n != 2 {
+		t.Fatalf("Subscribers = %d, want 2", n)
+	}
+	a.Cancel()
+	a.Cancel() // idempotent
+	if n := l.Subscribers(); n != 1 {
+		t.Fatalf("Subscribers after cancel = %d, want 1", n)
+	}
+	b.Cancel()
+}
+
+// TestConcurrentChurn exercises the loop under -race: a notifier
+// storm, subscribers joining/leaving, and readers consuming, all
+// concurrent.
+func TestConcurrentChurn(t *testing.T) {
+	fp := &fakePlatform{}
+	fp.version.Store(1)
+	l := NewLoop(fp.compute)
+	defer l.Close()
+
+	ctx := testCtx(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 0; v < 200; v++ {
+				fp.version.Add(1)
+				l.Notify()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sub := l.Subscribe()
+				u, err := sub.Next(ctx)
+				if err == nil && u.Err == nil && u.Version == 0 {
+					t.Error("delivered update with zero version")
+				}
+				sub.Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -242,6 +242,106 @@ func (c *Client) StreamJob(ctx context.Context, id string, offset int64, w io.Wr
 	return io.Copy(w, resp.Body)
 }
 
+// PatchPlatform applies a delta batch to a registered platform,
+// returning the new version. The batch is atomic: on an *APIError no
+// op applied and the version did not move.
+func (c *Client) PatchPlatform(ctx context.Context, id string, req *serve.PatchRequest) (*serve.PatchResponse, error) {
+	var out serve.PatchResponse
+	if err := c.doJSON(ctx, http.MethodPatch, "/v1/platforms/"+url.PathEscape(id), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PlatformLog fetches a platform's mutation log, oldest first.
+func (c *Client) PlatformLog(ctx context.Context, id string) ([]serve.ChangeRecord, error) {
+	var out []serve.ChangeRecord
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/platforms/"+url.PathEscape(id)+"/log", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubscribeSpec parameterises a live subscription: the plan spec to
+// watch (the platform is the Subscribe argument) plus the resume
+// cursor.
+type SubscribeSpec struct {
+	// Source is the source node name; empty follows the platform's
+	// default source.
+	Source string
+	// Targets are the target node names (required).
+	Targets []string
+	// Bounds and Heuristics mirror PlanSpec: nil means all, an empty
+	// slice means none.
+	Bounds     []string
+	Heuristics []string
+	// After suppresses updates with version <= After — pass the last
+	// version a previous stream delivered to resume without replay.
+	After int64
+}
+
+// Subscription iterates a live replan stream (GET
+// /v1/platforms/{id}/subscribe). Next blocks for updates until the
+// stream ends; Close (or canceling the Subscribe context) releases the
+// connection.
+type Subscription struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+// Subscribe opens a live replan stream for one plan spec. The server
+// sends the current version's plan immediately, then one update per
+// observed version — coalescing under churn, so a slow reader sees the
+// newest version rather than every intermediate one.
+func (c *Client) Subscribe(ctx context.Context, id string, spec SubscribeSpec) (*Subscription, error) {
+	q := url.Values{}
+	if spec.Source != "" {
+		q.Set("source", spec.Source)
+	}
+	q.Set("targets", strings.Join(spec.Targets, ","))
+	if spec.Bounds != nil {
+		q.Set("bounds", strings.Join(spec.Bounds, ","))
+	}
+	if spec.Heuristics != nil {
+		q.Set("heuristics", strings.Join(spec.Heuristics, ","))
+	}
+	if spec.After > 0 {
+		q.Set("after", strconv.FormatInt(spec.After, 10))
+	}
+	path := "/v1/platforms/" + url.PathEscape(id) + "/subscribe?" + q.Encode()
+	resp, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16<<20)
+	return &Subscription{resp: resp, sc: sc}, nil
+}
+
+// Next blocks for the next update. It returns io.EOF when the server
+// closed the stream, or the context/transport error when the
+// subscription was torn down mid-read.
+func (s *Subscription) Next() (*serve.SubscribeLine, error) {
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	var line serve.SubscribeLine
+	if err := json.Unmarshal(s.sc.Bytes(), &line); err != nil {
+		return nil, fmt.Errorf("mcastd: bad subscribe line %q: %w", s.sc.Text(), err)
+	}
+	return &line, nil
+}
+
+// Close releases the stream's connection. Safe to call while Next is
+// blocked in another goroutine (Next returns an error).
+func (s *Subscription) Close() error { return s.resp.Body.Close() }
+
 // Stats fetches GET /v1/stats.
 func (c *Client) Stats(ctx context.Context) (*serve.StatsResponse, error) {
 	var out serve.StatsResponse

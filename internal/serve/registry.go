@@ -6,17 +6,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exp"
 	"repro/internal/graph"
 	"repro/internal/steady"
 )
 
-// platformEntry is one registered platform. Entries are immutable once
-// published (a re-upload publishes a new entry under the same ID), so
-// every shard may read the graph concurrently without locking: nothing
-// in the plan path mutates a platform — the heuristics clone before
-// touching the activity mask.
+// platformEntry is one *version snapshot* of a registered platform.
+// Snapshots are immutable once published — a mutation (re-upload or
+// PATCH) builds a new graph and publishes a new entry under the same
+// ID — so every shard may read the graph concurrently without locking:
+// nothing in the plan path mutates a published snapshot (the
+// heuristics clone before touching the activity mask), and in-flight
+// requests keep computing against the snapshot they resolved, whatever
+// happens to the platform meanwhile.
 type platformEntry struct {
 	id         string
 	g          *graph.Graph
@@ -24,19 +28,72 @@ type platformEntry struct {
 	sourceName string // default source for plan requests, may be ""
 	nodes      int
 	edges      int
-	gen        int // upload generation of this ID, starting at 1
+	gen        int   // upload generation of this ID, starting at 1
+	version    int64 // monotonic per-platform version, bumped by uploads AND patches
 }
 
 func (e *platformEntry) fingerprint() string { return fmt.Sprintf("%016x", e.fp) }
 
-// registry is the platform store: upload once, reference by ID.
-type registry struct {
-	mu sync.RWMutex
-	m  map[string]*platformEntry
+// ChangeRecord is one entry of a platform's mutation log, surfaced by
+// GET /v1/platforms/{id}/log (newest last).
+type ChangeRecord struct {
+	Version int64  `json:"version"`
+	Kind    string `json:"kind"` // "upload" or "patch"
+	// Ops echoes the applied PATCH delta batch (empty for uploads).
+	Ops         []PatchOp `json:"ops,omitempty"`
+	Fingerprint string    `json:"fingerprint"`
+	Nodes       int       `json:"nodes"`
+	Edges       int       `json:"edges"`
 }
 
-func newRegistry() *registry {
-	return &registry{m: make(map[string]*platformEntry)}
+// platform is the mutable holder behind one ID: the current snapshot
+// (atomic, so readers never block on a mutation in progress), the
+// mutation log and the recent-snapshot history that lets the
+// determinism tests cold-solve any version a response was stamped
+// with.
+type platform struct {
+	mu  sync.Mutex // serialises mutations of this ID
+	cur atomic.Pointer[platformEntry]
+	// log is the mutation log, newest last, capped at the registry's
+	// logCap.
+	log []ChangeRecord
+	// history holds the most recent snapshots (including cur), newest
+	// last, capped at the registry's histCap.
+	history []*platformEntry
+}
+
+// registry is the platform store: upload once, reference by ID, mutate
+// with PATCH deltas.
+type registry struct {
+	mu      sync.RWMutex
+	m       map[string]*platform
+	histCap int
+	logCap  int
+}
+
+func newRegistry(histCap, logCap int) *registry {
+	return &registry{m: make(map[string]*platform), histCap: histCap, logCap: logCap}
+}
+
+// record publishes e as p's current snapshot and appends the log
+// record. Caller holds p.mu.
+func (r *registry) record(p *platform, e *platformEntry, kind string, ops []PatchOp) {
+	p.cur.Store(e)
+	p.history = append(p.history, e)
+	if n := len(p.history) - r.histCap; n > 0 {
+		p.history = append(p.history[:0], p.history[n:]...)
+	}
+	p.log = append(p.log, ChangeRecord{
+		Version:     e.version,
+		Kind:        kind,
+		Ops:         ops,
+		Fingerprint: e.fingerprint(),
+		Nodes:       e.nodes,
+		Edges:       e.edges,
+	})
+	if n := len(p.log) - r.logCap; n > 0 {
+		p.log = append(p.log[:0], p.log[n:]...)
+	}
 }
 
 // put registers (or replaces) a platform. An empty id derives a
@@ -47,7 +104,8 @@ func newRegistry() *registry {
 // with a different default source would silently replace the prior
 // entry's source while the fingerprint-keyed invalidation sweep (which
 // only fires when fp changes) drops nothing. It returns the new entry
-// and the entry it replaced (nil for a first upload).
+// and the entry it replaced (nil for a first upload); a replacement
+// continues the platform's version sequence.
 func (r *registry) put(id string, g *graph.Graph, sourceName string) (*platformEntry, *platformEntry) {
 	fp := steady.Fingerprint(g)
 	if id == "" {
@@ -61,15 +119,65 @@ func (r *registry) put(id string, g *graph.Graph, sourceName string) (*platformE
 		nodes:      g.NumActive(),
 		edges:      len(g.ActiveEdges()),
 		gen:        1,
+		version:    1,
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	old := r.m[id]
+	p := r.m[id]
+	if p == nil {
+		p = &platform{}
+		r.m[id] = p
+	}
+	r.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.cur.Load()
 	if old != nil {
 		e.gen = old.gen + 1
+		e.version = old.version + 1
 	}
-	r.m[id] = e
+	r.record(p, e, "upload", nil)
 	return e, old
+}
+
+// patch mutates a platform copy-on-write: resolve is handed a private
+// clone of the current snapshot's graph and must apply the requested
+// delta to it (returning the resolved ops for the log). On success the
+// clone is published as the next version. The platform's mutation lock
+// is held across resolve, so concurrent PATCHes serialise and each
+// sees its predecessor's effects.
+func (r *registry) patch(id string, resolve func(g *graph.Graph) ([]PatchOp, error)) (old, cur *platformEntry, err error) {
+	r.mu.RLock()
+	p := r.m[id]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, nil, notFound("unknown platform id %q", id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old = p.cur.Load()
+	if old == nil {
+		// The holder was created by a concurrent upload that has not
+		// published its first snapshot yet.
+		return nil, nil, notFound("unknown platform id %q", id)
+	}
+	clone := old.g.Clone()
+	ops, err := resolve(clone)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur = &platformEntry{
+		id:         old.id,
+		g:          clone,
+		fp:         steady.Fingerprint(clone),
+		sourceName: old.sourceName,
+		nodes:      clone.NumActive(),
+		edges:      len(clone.ActiveEdges()),
+		gen:        old.gen,
+		version:    old.version + 1,
+	}
+	r.record(p, cur, "patch", ops)
+	return old, cur, nil
 }
 
 // deriveID builds the content-addressed platform ID. A declared
@@ -87,17 +195,52 @@ func deriveID(fp uint64, sourceName string) string {
 
 func (r *registry) get(id string) (*platformEntry, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.m[id]
-	return e, ok
+	p := r.m[id]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, false
+	}
+	return p.cur.Load(), true
 }
 
-// list returns the registered entries sorted by ID.
+// at returns the retained snapshot of one platform version, if the
+// history ring still holds it.
+func (r *registry) at(id string, version int64) (*platformEntry, bool) {
+	r.mu.RLock()
+	p := r.m[id]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.history) - 1; i >= 0; i-- {
+		if p.history[i].version == version {
+			return p.history[i], true
+		}
+	}
+	return nil, false
+}
+
+// changes returns a copy of one platform's mutation log, oldest first.
+func (r *registry) changes(id string) ([]ChangeRecord, bool) {
+	r.mu.RLock()
+	p := r.m[id]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ChangeRecord(nil), p.log...), true
+}
+
+// list returns the current snapshots sorted by ID.
 func (r *registry) list() []*platformEntry {
 	r.mu.RLock()
 	out := make([]*platformEntry, 0, len(r.m))
-	for _, e := range r.m {
-		out = append(out, e)
+	for _, p := range r.m {
+		out = append(out, p.cur.Load())
 	}
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })

@@ -8,7 +8,10 @@
 //   - a platform registry: clients upload a platform once (the graph
 //     text format) and reference it by ID in every later plan request;
 //     re-uploading an ID swaps its content and invalidates the plan
-//     cache entries of the old content;
+//     cache entries of the old content. Platforms are *live*: every
+//     mutation — re-upload or a PATCH /v1/platforms/{id} delta batch —
+//     bumps a per-platform version, and GET /v1/platforms/{id}/subscribe
+//     streams each version's re-plan (DESIGN.md Section 14);
 //   - an LRU plan cache keyed by (platform fingerprint, source, target
 //     list, requested bounds and heuristics) holding complete
 //     responses;
@@ -62,6 +65,13 @@ type Config struct {
 	// JobTTL is how long a finished (done or canceled) job's results
 	// stay retrievable before eviction. 0 means DefaultJobTTL.
 	JobTTL time.Duration
+	// VersionHistory caps the retained snapshots per platform — old
+	// versions stay addressable (and cold-solvable) until they rotate
+	// out. 0 means DefaultVersionHistory.
+	VersionHistory int
+	// MutationLog caps the change records per platform served by
+	// GET /v1/platforms/{id}/log. 0 means DefaultMutationLog.
+	MutationLog int
 }
 
 // DefaultCacheSize is the plan cache capacity when Config.CacheSize is
@@ -139,4 +149,26 @@ func (c Config) jobTTL() time.Duration {
 		return DefaultJobTTL
 	}
 	return c.JobTTL
+}
+
+// DefaultVersionHistory is the per-platform snapshot retention when
+// Config.VersionHistory is zero.
+const DefaultVersionHistory = 64
+
+// DefaultMutationLog is the per-platform change-log retention when
+// Config.MutationLog is zero.
+const DefaultMutationLog = 256
+
+func (c Config) versionHistory() int {
+	if c.VersionHistory <= 0 {
+		return DefaultVersionHistory
+	}
+	return c.VersionHistory
+}
+
+func (c Config) mutationLog() int {
+	if c.MutationLog <= 0 {
+		return DefaultMutationLog
+	}
+	return c.MutationLog
 }

@@ -24,6 +24,11 @@ const (
 	// HeaderShard is the index of the shard that computed the plan
 	// (set only when this request executed, i.e. HeaderCache: miss).
 	HeaderShard = "X-Mcastd-Shard"
+	// HeaderVersion is the platform version a response was computed
+	// against (registered platforms only). Like the cache/shard headers
+	// it stays out of the body, so a version's plan bytes are directly
+	// comparable to a cold solve of that version's snapshot.
+	HeaderVersion = "X-Mcastd-Version"
 )
 
 // UploadRequest is the body of POST /v1/platforms.
@@ -48,6 +53,7 @@ type UploadResponse struct {
 	Edges       int    `json:"edges"`
 	Source      string `json:"source,omitempty"`
 	Generation  int    `json:"generation"`
+	Version     int64  `json:"version"`
 	Replaced    bool   `json:"replaced,omitempty"`
 	// Invalidated counts the cached plans of the replaced content that
 	// were dropped.
@@ -62,6 +68,7 @@ type PlatformInfo struct {
 	Edges       int    `json:"edges"`
 	Source      string `json:"source,omitempty"`
 	Generation  int    `json:"generation"`
+	Version     int64  `json:"version"`
 }
 
 // EndpointStats summarises one route's traffic for GET /v1/stats.
@@ -86,6 +93,7 @@ type StatsResponse struct {
 	Whatif        WhatifStats              `json:"whatif"`
 	Batch         BatchStats               `json:"batch"`
 	Jobs          JobStats                 `json:"jobs"`
+	Live          LiveStats                `json:"live"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -99,6 +107,7 @@ type Server struct {
 	cache  *planCache
 	flight *flightGroup
 	jobs   *jobStore
+	hub    *hub
 	mux    *http.ServeMux
 	start  time.Time
 
@@ -118,6 +127,7 @@ type Server struct {
 	endpoints map[string]*endpointAccum
 	whatif    WhatifStats
 	batch     BatchStats
+	live      LiveStats
 }
 
 type endpointAccum struct {
@@ -130,11 +140,12 @@ type endpointAccum struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
-		reg:       newRegistry(),
+		reg:       newRegistry(cfg.versionHistory(), cfg.mutationLog()),
 		pool:      newShardPool(cfg.shards()),
 		cache:     newPlanCache(cfg.cacheSize()),
 		flight:    newFlightGroup(),
 		jobs:      newJobStore(cfg.maxJobs(), cfg.maxJobItems(), cfg.jobTTL()),
+		hub:       newHub(),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointAccum),
@@ -143,6 +154,9 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/platforms", s.handleUpload)
 	s.route("GET /v1/platforms", s.handleListPlatforms)
 	s.route("GET /v1/platforms/{id}", s.handleGetPlatform)
+	s.route("PATCH /v1/platforms/{id}", s.handlePatchPlatform)
+	s.route("GET /v1/platforms/{id}/subscribe", s.handleSubscribe)
+	s.route("GET /v1/platforms/{id}/log", s.handlePlatformLog)
 	s.route("POST /v1/plan", s.handlePlan)
 	s.route("POST /v1/plan:batch", s.handleBatch)
 	s.route("POST /v1/whatif", s.handleWhatif)
@@ -180,6 +194,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the streaming endpoints
+// (subscribe, batch, job streams) keep their incremental delivery
+// through the accounting wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) observe(pattern string, status int, d time.Duration) {
@@ -261,6 +284,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		Edges:       entry.edges,
 		Source:      entry.sourceName,
 		Generation:  entry.gen,
+		Version:     entry.version,
 	}
 	if old != nil {
 		resp.Replaced = true
@@ -271,11 +295,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 				return k.id == entry.id && k.fp == old.fp
 			})
 		}
+		// A replacement is a mutation like any other: wake the platform's
+		// replan loops so subscribers see the new content.
+		s.hub.notifyPlatform(entry.id)
 	}
 	status := http.StatusCreated
 	if old != nil {
 		status = http.StatusOK
 	}
+	w.Header().Set(HeaderVersion, fmt.Sprintf("%d", entry.version))
 	writeJSON(w, status, resp)
 }
 
@@ -304,6 +332,7 @@ func (s *Server) platformInfo(e *platformEntry) PlatformInfo {
 		Edges:       e.edges,
 		Source:      e.sourceName,
 		Generation:  e.gen,
+		Version:     e.version,
 	}
 }
 
@@ -341,6 +370,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	resp.Whatif = s.whatif
 	resp.Batch = s.batch
+	resp.Live = s.live
+	resp.Live.Loops = s.hub.count()
 	for pattern, a := range s.endpoints {
 		es := EndpointStats{
 			Count:       a.count,
@@ -365,7 +396,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, how, shardIdx, err := s.Plan(&req)
+	res, err := s.resolve(&req.PlanSpec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, how, shardIdx, err := s.planResolved(res, req.NoCache)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -373,6 +409,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(HeaderCache, how)
 	if shardIdx >= 0 {
 		w.Header().Set(HeaderShard, fmt.Sprintf("%d", shardIdx))
+	}
+	if res.version > 0 {
+		w.Header().Set(HeaderVersion, fmt.Sprintf("%d", res.version))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -387,6 +426,14 @@ func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
 	if err != nil {
 		return nil, "", -1, err
 	}
+	return s.planResolved(res, req.NoCache)
+}
+
+// planResolved executes an already-resolved spec through the cache,
+// coalescer and shard pool — the shared back half of handlePlan, Plan
+// and the subscription loops (which resolve per version themselves to
+// stamp responses with the version they computed against).
+func (s *Server) planResolved(res *resolved, noCache bool) (*PlanResponse, string, int, error) {
 	key := res.key()
 	// execIdx records the shard this call computed on; it stays -1 for
 	// cache hits and coalesced followers (whose leader has its own
@@ -407,7 +454,7 @@ func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
 		return resp, nil
 	}
 
-	if req.NoCache {
+	if noCache {
 		resp, err := compute()
 		if err != nil {
 			return nil, "", -1, err

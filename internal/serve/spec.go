@@ -77,6 +77,7 @@ type resolved struct {
 	g       *graph.Graph
 	fp      uint64
 	id      string
+	version int64 // platform version of the snapshot, 0 for inline platforms
 	source  graph.NodeID
 	targets []graph.NodeID
 	bounds  uint8
@@ -111,9 +112,13 @@ func (s *Server) resolve(spec *PlanSpec) (*resolved, error) {
 		if !ok {
 			return nil, notFound("unknown platform id %q", spec.PlatformID)
 		}
-		// Registered platforms are immutable: reuse the fingerprint
-		// hashed at upload instead of re-walking the graph per request.
+		// Snapshots are immutable once published (mutations publish a new
+		// entry): reuse the fingerprint hashed at publish time instead of
+		// re-walking the graph per request, and pin the whole resolution to
+		// this snapshot — a concurrent PATCH cannot change what this
+		// request computes, only what later requests resolve to.
 		r.g, r.fp, r.id, src = e.g, e.fp, e.id, e.sourceName
+		r.version = e.version
 	case spec.Platform != "":
 		var err error
 		r.g, err = decodePlatform(spec.Platform, s.cfg.maxPlatformBytes())

@@ -1,0 +1,130 @@
+package steady
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReplanVsCold cross-validates incremental replanning against cold
+// re-solves on fuzzer-driven churn: a random platform (tree plus
+// chords, so sequences cross the tree/general classification boundary)
+// hit by a random delta sequence — edge failures, recoveries, cost
+// scalings, repricings, node drops and restores. One warm evaluator
+// carries its cut/path pools and workspace across the whole sequence
+// (Replan mutates the graph in place); after every event a fresh
+// evaluator cold-solves an independently mutated shadow clone and the
+// two must agree on feasibility and to 1e-9 on both bound periods.
+func FuzzReplanVsCold(f *testing.F) {
+	f.Add([]byte{7, 1, 3, 9, 1, 14, 2, 30, 5, 11, 90, 41})
+	f.Add([]byte{12, 3, 250, 8, 61, 3, 17, 99, 4, 200, 33, 12, 7})
+	f.Add([]byte{5, 0, 5, 5, 5, 5, 5, 5, 5, 5, 129, 200, 4, 66})
+	f.Add([]byte{18, 7, 0, 255, 128, 64, 32, 16, 8, 4, 2, 1, 77, 190})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		pos := 2
+		next := func() int {
+			b := int(data[pos%len(data)])
+			pos++
+			return b
+		}
+		n := 3 + int(data[0])%14
+		flags := data[1]
+		bidir := flags&1 != 0
+		chords := int(flags>>1) % 4
+
+		g := graph.New()
+		ids := g.AddNodes("n", n)
+		cost := func() float64 { return 0.25 + float64(next()%32)*0.125 }
+		for i := 1; i < n; i++ {
+			p := ids[next()%i]
+			if bidir {
+				g.AddLink(p, ids[i], cost())
+			} else {
+				g.AddEdge(p, ids[i], cost())
+			}
+		}
+		for c := 0; c < chords; c++ {
+			u, v := ids[next()%n], ids[next()%n]
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v, cost())
+		}
+
+		var targets []graph.NodeID
+		for _, v := range ids[1:] {
+			if next()%2 == 0 {
+				targets = append(targets, v)
+			}
+		}
+		if len(targets) == 0 {
+			targets = append(targets, ids[1+next()%(n-1)])
+		}
+		p, err := NewProblem(g, ids[0], targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		shadow := g.Clone()
+		warm := NewEvaluator()
+		factors := []float64{0.5, 0.75, 1.25, 2}
+		events := 2 + next()%5
+		for ev := 0; ev < events; ev++ {
+			var d graph.Delta
+			switch next() % 5 {
+			case 0:
+				d = graph.Delta{graph.ScaleEdgeCostOp(next()%g.NumEdges(), factors[next()%len(factors)])}
+			case 1:
+				d = graph.Delta{graph.DisableEdgeOp(next() % g.NumEdges())}
+			case 2:
+				d = graph.Delta{graph.EnableEdgeOp(next() % g.NumEdges())}
+			case 3:
+				d = graph.Delta{graph.DropNodeOp(ids[1+next()%(n-1)])}
+			case 4:
+				d = graph.Delta{graph.RestoreNodeOp(ids[1+next()%(n-1)])}
+			}
+			res, err := warm.Replan(p, d)
+			if err != nil {
+				// The delta invalidated the problem (dropped the source's
+				// reach of a target set member); Replan rolled it back, so
+				// the shadow stays in lockstep by skipping it too.
+				continue
+			}
+
+			if _, err := d.Apply(shadow); err != nil {
+				t.Fatalf("event %d: shadow apply diverged: %v", ev, err)
+			}
+			cold := NewEvaluator()
+			cp, err := NewProblem(shadow, ids[0], targets)
+			if err != nil {
+				t.Fatalf("event %d: shadow problem diverged: %v", ev, err)
+			}
+			coldLB, err1 := cold.MulticastLB(cp)
+			coldSc, err2 := cold.ScatterUB(cp)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("event %d: cold solve: %v / %v", ev, err1, err2)
+			}
+			if res.LB.Infeasible() != coldLB.Infeasible() {
+				t.Fatalf("event %d: LB infeasible warm=%v cold=%v", ev, res.LB.Infeasible(), coldLB.Infeasible())
+			}
+			if !res.LB.Infeasible() {
+				if diff := relDiff(res.LB.Period, coldLB.Period); diff > 1e-9 {
+					t.Fatalf("event %d: warm LB %.17g vs cold %.17g (rel %.3g > 1e-9)",
+						ev, res.LB.Period, coldLB.Period, diff)
+				}
+			}
+			if res.Scatter.Infeasible() != coldSc.Infeasible() {
+				t.Fatalf("event %d: scatter infeasible warm=%v cold=%v", ev, res.Scatter.Infeasible(), coldSc.Infeasible())
+			}
+			if !res.Scatter.Infeasible() {
+				if diff := relDiff(res.Scatter.Period, coldSc.Period); diff > 1e-9 {
+					t.Fatalf("event %d: warm scatter %.17g vs cold %.17g (rel %.3g > 1e-9)",
+						ev, res.Scatter.Period, coldSc.Period, diff)
+				}
+			}
+		}
+	})
+}

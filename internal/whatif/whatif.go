@@ -61,6 +61,24 @@ type Scenario struct {
 	Factor float64
 }
 
+// Delta expresses the scenario's platform perturbation in the shared
+// graph-delta vocabulary — the same ops a live PATCH or an incremental
+// replan applies, so "relay r1 fails" is the same object whether it is
+// hypothetical here or an observed event on a live platform.
+// KindPromoteSource returns nil: promotion perturbs the problem (an
+// extra source), not the platform.
+func (sc Scenario) Delta() graph.Delta {
+	switch sc.Kind {
+	case KindNodeFailure:
+		return graph.Delta{graph.DropNodeOp(sc.Node)}
+	case KindEdgeFailure:
+		return graph.Delta{graph.DisableEdgeOp(sc.Edge)}
+	case KindEdgeDegrade:
+		return graph.Delta{graph.ScaleEdgeCostOp(sc.Edge, sc.Factor)}
+	}
+	return nil
+}
+
 // Config parameterises a what-if analysis.
 type Config struct {
 	// Workers bounds the concurrent scenario evaluations; values < 1
@@ -223,20 +241,24 @@ type Result struct {
 
 // Eval evaluates one scenario. ev must be private to the call (a
 // Baseline.Ev clone, or a fresh evaluator for cold replans) and g a
-// private copy of the baseline platform, which Eval perturbs and
-// restores. The result depends only on (base, scenario) — never on
-// which worker ran it or what ran before it on g.
+// private copy of the baseline platform, which Eval perturbs via the
+// scenario's graph delta and restores via the delta's exact-bits undo.
+// The result depends only on (base, scenario) — never on which worker
+// ran it or what ran before it on g.
 func Eval(base *Baseline, ev *steady.Evaluator, g *graph.Graph, sc Scenario) Result {
 	res := Result{Scenario: sc}
 	p := steady.Problem{G: g, Source: base.Problem.Source, Targets: base.Problem.Targets}
 	switch sc.Kind {
 	case KindNodeFailure:
 		evalNodeFailure(base, ev, g, sc, &res)
-	case KindEdgeFailure:
-		bound, err := ev.DropEdgeMulticast(p, sc.Edge)
-		finishEdge(base, g, sc, bound, err, &res)
-	case KindEdgeDegrade:
-		bound, err := ev.ScaleEdgeMulticast(p, sc.Edge, sc.Factor)
+	case KindEdgeFailure, KindEdgeDegrade:
+		undo, err := sc.Delta().Apply(g)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		bound, err := ev.MulticastLB(p)
+		undo.Apply(g)
 		finishEdge(base, g, sc, bound, err, &res)
 	case KindPromoteSource:
 		bound, err := ev.PromoteSource(p, nil, sc.Node)
@@ -262,8 +284,12 @@ func evalNodeFailure(base *Baseline, ev *steady.Evaluator, g *graph.Graph, sc Sc
 		}
 		targets = append(targets, t)
 	}
-	g.Deactivate(sc.Node)
-	defer g.Activate(sc.Node)
+	undo, err := sc.Delta().Apply(g)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	defer undo.Apply(g)
 	if len(targets) == 0 {
 		res.Infeasible = true
 		res.Delta = -base.LB.Throughput()
