@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	loadgen [-addr http://host:8723] [-shape hot|churn|herd|churn-live]
+//	loadgen [-addr http://host:8723]
+//	        [-shape hot|churn|herd|churn-live|overload]
 //	        [-clients N] [-duration 5s] [-seed 1] [-smoke]
 //
 // With no -addr, loadgen starts an in-process daemon on a loopback
@@ -33,6 +34,13 @@
 //	       scalings, so content revisits earlier fingerprints) while
 //	       two subscribers hold replan streams open — plan cache
 //	       invalidation, repair and version streaming all under load.
+//
+//	overload
+//	       deliberate saturation: every request bypasses the plan cache
+//	       so each one wants a compute slot, and the in-process daemon
+//	       runs with tight admission limits. Half the requests opt into
+//	       degraded mode. The report adds the shed rate (429s) and the
+//	       degraded fraction next to p99 — the overload triage triple.
 //
 // -smoke runs every shape briefly against an in-process daemon and
 // exits nonzero on any request failure; CI runs it as a serving-stack
@@ -64,7 +72,7 @@ func main() {
 	log.SetPrefix("loadgen: ")
 	var (
 		addr     = flag.String("addr", "", "base URL of a running mcastd (empty starts one in-process)")
-		shape    = flag.String("shape", "hot", "arrival shape: hot, churn, herd or churn-live")
+		shape    = flag.String("shape", "hot", "arrival shape: hot, churn, herd, churn-live or overload")
 		clients  = flag.Int("clients", 8, "concurrent clients")
 		duration = flag.Duration("duration", 5*time.Second, "length of each measured phase")
 		seed     = flag.Int64("seed", 1, "workload seed (target-set pools, request mix)")
@@ -81,7 +89,14 @@ func main() {
 		return
 	}
 
-	base, closeFn := ensureDaemon(*addr, *shards)
+	cfg := serve.Config{Shards: *shards}
+	if *shape == "overload" {
+		// Tight admission limits so the in-process daemon actually sheds;
+		// an external -addr daemon is measured with whatever it runs.
+		cfg.MaxConcurrent = 2
+		cfg.MaxQueue = 2
+	}
+	base, closeFn := ensureDaemon(*addr, cfg)
 	defer closeFn()
 	c := mcastclient.New(base, nil)
 	rep, err := runShape(c, *shape, *clients, *duration, *seed)
@@ -96,11 +111,11 @@ func main() {
 
 // ensureDaemon returns the base URL to load, starting an in-process
 // daemon when addr is empty.
-func ensureDaemon(addr string, shards int) (string, func()) {
+func ensureDaemon(addr string, cfg serve.Config) (string, func()) {
 	if addr != "" {
 		return addr, func() {}
 	}
-	ts := httptest.NewServer(serve.New(serve.Config{Shards: shards}))
+	ts := httptest.NewServer(serve.New(cfg))
 	// The default transport caps idle conns per host at 2; a loadgen
 	// with N clients wants N warm conns or it measures dial latency.
 	tr := ts.Client().Transport.(*http.Transport)
@@ -203,6 +218,9 @@ type report struct {
 	// churn-live only: PATCHes applied and subscriber updates received
 	// during the concurrent phase.
 	patches, liveUpdates int64
+	// overload only: requests shed with 429/saturated (not counted as
+	// errors) and requests answered by a degraded fallback.
+	shed, degraded int64
 }
 
 func (r *report) print(w *os.File) {
@@ -214,9 +232,17 @@ func (r *report) print(w *os.File) {
 	if r.shape == "churn-live" {
 		fmt.Fprintf(w, "  live churn       %d patches, %d subscriber updates\n", r.patches, r.liveUpdates)
 	}
-	if r.concurrentRate >= r.serialRate {
+	if r.shape == "overload" && r.requests > 0 {
+		fmt.Fprintf(w, "  overload         %d shed (%.1f%%), %d degraded (%.1f%%)\n",
+			r.shed, 100*float64(r.shed)/float64(r.requests),
+			r.degraded, 100*float64(r.degraded)/float64(r.requests))
+	}
+	switch {
+	case r.serialRate == 0:
+		// Overload has no serial baseline: a serial client can never shed.
+	case r.concurrentRate >= r.serialRate:
 		fmt.Fprintf(w, "  concurrent/serial %.2fx\n", r.concurrentRate/r.serialRate)
-	} else {
+	default:
 		fmt.Fprintf(w, "  WARNING: concurrent rate below serial baseline (%.2fx)\n",
 			r.concurrentRate/r.serialRate)
 	}
@@ -226,15 +252,18 @@ func (r *report) print(w *os.File) {
 // concurrent phase (with the shape's churn/herd choreography).
 func runShape(c *mcastclient.Client, shape string, clients int, duration time.Duration, seed int64) (*report, error) {
 	switch shape {
-	case "hot", "churn", "herd", "churn-live":
+	case "hot", "churn", "herd", "churn-live", "overload":
 	default:
-		return nil, fmt.Errorf("unknown shape %q (want hot, churn, herd or churn-live)", shape)
+		return nil, fmt.Errorf("unknown shape %q (want hot, churn, herd, churn-live or overload)", shape)
 	}
 	w, err := buildWorkload(c, seed)
 	if err != nil {
 		return nil, err
 	}
 	rep := &report{shape: shape}
+	if shape == "overload" {
+		return runOverload(c, w, rep, clients, duration, seed)
+	}
 
 	// Serial baseline: one client, the same hot-skew mix, half the
 	// phase length (it needs less time to stabilise).
@@ -341,6 +370,75 @@ func runShape(c *mcastclient.Client, shape string, clients int, duration time.Du
 		return nil, err
 	}
 	rep.patches, rep.liveUpdates = patches.Load(), liveUpdates.Load()
+	return finishReport(rep, n, lats, duration), nil
+}
+
+// runOverload drives the overload shape: the hot pool is computed once
+// to warm the plan cache, then every client fires no_cache requests
+// (each wants a compute slot) with every second request opting into
+// degraded mode. Sheds (429) and degraded answers are counted
+// separately from hard errors — under deliberate saturation they are
+// the expected outcomes, not failures.
+func runOverload(c *mcastclient.Client, w *workload, rep *report, clients int, duration time.Duration, seed int64) (*report, error) {
+	// The overload pool reuses the hot target sets but asks for all
+	// three bounds: the broadcast bound's LP makes each no_cache solve
+	// long enough (tens of milliseconds) to genuinely occupy a compute
+	// slot. The other shapes' scatter/lb-only requests finish faster
+	// than arrivals can pile up behind the limiter, so they never shed.
+	pool := make([]*serve.PlanRequest, len(w.hotPool))
+	for i, hot := range w.hotPool {
+		r := *hot
+		r.Bounds = []string{serve.BoundScatter, serve.BoundLB, serve.BoundBroadcast}
+		pool[i] = &r
+	}
+	// Warm the cache so degraded requests have a degraded-cache answer
+	// available when they are shed.
+	for _, req := range pool {
+		if _, err := c.Plan(context.Background(), req); err != nil {
+			return nil, fmt.Errorf("overload warmup: %w", err)
+		}
+	}
+	deadline := time.Now().Add(duration)
+	perClient := make([][]time.Duration, clients)
+	var reqs, errs, shed, degraded atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := exp.NewRNG(seed, 7000+client)
+			for k := 0; time.Now().Before(deadline); k++ {
+				req := *pool[rng.Intn(len(pool))]
+				req.NoCache = true
+				req.Degraded = k%2 == 0
+				start := time.Now()
+				_, hdr, err := c.PlanRaw(context.Background(), &req)
+				perClient[client] = append(perClient[client], time.Since(start))
+				reqs.Add(1)
+				switch {
+				case err == nil && hdr.Get(serve.HeaderDegraded) != "":
+					degraded.Add(1)
+				case err == nil:
+				case mcastclient.IsCode(err, serve.CodeSaturated):
+					shed.Add(1)
+				default:
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var lats []time.Duration
+	for _, l := range perClient {
+		lats = append(lats, l...)
+	}
+	rep.shed, rep.degraded = shed.Load(), degraded.Load()
+	n := counts{requests: reqs.Load(), errs: errs.Load()}
+	if e := firstErr.Load(); e != nil {
+		return nil, fmt.Errorf("%d hard errors under overload, first: %w", n.errs, e.(error))
+	}
 	return finishReport(rep, n, lats, duration), nil
 }
 
@@ -474,6 +572,22 @@ func runSmoke(seed int64) error {
 			return fmt.Errorf("shape %s: no live churn observed (%d patches, %d updates)",
 				shape, rep.patches, rep.liveUpdates)
 		}
+	}
+
+	// The overload shape runs against its own daemon with tight
+	// admission limits, so shedding and degraded fallbacks actually
+	// happen at smoke scale.
+	ots := httptest.NewServer(serve.New(serve.Config{Shards: 2, MaxConcurrent: 1, MaxQueue: 1}))
+	defer ots.Close()
+	ots.Client().Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+	orep, err := runShape(mcastclient.New(ots.URL, nil), "overload", 8, 400*time.Millisecond, seed)
+	if err != nil {
+		return fmt.Errorf("shape overload: %w", err)
+	}
+	orep.print(os.Stdout)
+	if orep.shed == 0 || orep.degraded == 0 {
+		return fmt.Errorf("shape overload: expected both shedding and degraded answers, got %d shed, %d degraded",
+			orep.shed, orep.degraded)
 	}
 
 	// One batch and one job through the same pools, verifying the

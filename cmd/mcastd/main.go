@@ -6,11 +6,13 @@
 // Usage:
 //
 //	mcastd [-addr :8723] [-shards N] [-cache N] [-max-jobs N]
-//	       [-job-ttl 10m] [-pprof 127.0.0.1:6060]
+//	       [-job-ttl 10m] [-default-timeout 0] [-max-concurrent N]
+//	       [-max-queue N] [-pprof 127.0.0.1:6060]
 //
 // Endpoints:
 //
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness (200 while the process serves)
+//	GET    /readyz               readiness (503 while draining/saturated)
 //	POST   /v1/platforms         upload a platform (graph text format)
 //	GET    /v1/platforms         list registered platforms
 //	GET    /v1/platforms/{id}    one platform's metadata
@@ -27,8 +29,11 @@
 // Errors are the structured envelope {"error":{"code":...,
 // "message":...}} on every endpoint; see DESIGN.md Section 13.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests for up to -drain seconds.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips
+// unready, live subscribe streams are closed with a final terminator
+// line, running async jobs get the -drain window to finish (then are
+// canceled), and in-flight requests drain for the remainder of the
+// window.
 //
 // -pprof starts net/http/pprof on a separate listener (opt-in and
 // intended for a loopback or otherwise private address — the profile
@@ -60,6 +65,9 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (empty disables; use a private address)")
 		maxJobs   = flag.Int("max-jobs", 0, "max unfinished async jobs before 429 (0 = default)")
 		jobTTL    = flag.Duration("job-ttl", 0, "how long finished job results stay retrievable (0 = default)")
+		defTO     = flag.Duration("default-timeout", 0, "per-request compute deadline when the request sets no timeout_ms (0 = none)")
+		maxConc   = flag.Int("max-concurrent", 0, "max concurrent computations before queueing (0 = 2x shards, negative disables admission control)")
+		maxQueue  = flag.Int("max-queue", 0, "max queued admissions before 429/saturated (0 = 4x shards)")
 	)
 	flag.Parse()
 
@@ -79,7 +87,10 @@ func main() {
 		}()
 	}
 
-	srv := serve.New(serve.Config{Shards: *shards, CacheSize: *cache, MaxJobs: *maxJobs, JobTTL: *jobTTL})
+	srv := serve.New(serve.Config{
+		Shards: *shards, CacheSize: *cache, MaxJobs: *maxJobs, JobTTL: *jobTTL,
+		DefaultTimeout: *defTO, MaxConcurrent: *maxConc, MaxQueue: *maxQueue,
+	})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -103,6 +114,11 @@ func main() {
 	log.Printf("shutting down (draining up to %s)", *drain)
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Application drain first: /readyz unready, subscribe streams closed
+	// with their final line, async jobs finished or canceled. Only then
+	// the connection-level drain — Shutdown would otherwise wait on
+	// subscribe streams that never end.
+	srv.Drain(sctx)
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}

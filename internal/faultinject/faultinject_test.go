@@ -1,0 +1,50 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilByDefault(t *testing.T) {
+	Set(nil)
+	if err := SolveEnter(context.Background()); err != nil {
+		t.Fatalf("SolveEnter with no hooks = %v", err)
+	}
+	HandlerEnter("POST /v1/plan") // must not panic
+	if err := StreamWrite(context.Background()); err != nil {
+		t.Fatalf("StreamWrite with no hooks = %v", err)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	defer Set(nil)
+	boom := errors.New("injected")
+	var entered []string
+	Set(&Hooks{
+		SolveEnter:   func(context.Context) error { return boom },
+		HandlerEnter: func(route string) { entered = append(entered, route) },
+		StreamWrite:  func(context.Context) error { return boom },
+	})
+	if err := SolveEnter(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("SolveEnter = %v, want injected error", err)
+	}
+	HandlerEnter("GET /v1/stats")
+	if len(entered) != 1 || entered[0] != "GET /v1/stats" {
+		t.Fatalf("HandlerEnter recorded %v", entered)
+	}
+	if err := StreamWrite(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("StreamWrite = %v, want injected error", err)
+	}
+}
+
+func TestPartialHooks(t *testing.T) {
+	defer Set(nil)
+	Set(&Hooks{HandlerEnter: func(string) {}})
+	if err := SolveEnter(context.Background()); err != nil {
+		t.Fatalf("nil SolveEnter field = %v", err)
+	}
+	if err := StreamWrite(context.Background()); err != nil {
+		t.Fatalf("nil StreamWrite field = %v", err)
+	}
+}

@@ -234,6 +234,14 @@ type Solution struct {
 // within its iteration budget (indicative of severe cycling).
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrCanceled is returned when a solve observes its workspace's stop
+// flag (Workspace.SetStop) mid-iteration. Unlike ErrIterationLimit it
+// never triggers the perturbed retry or a warm-to-cold fallback — a
+// canceled solve propagates immediately, and the workspace remains
+// reusable for later solves (every solve recompiles and refactorises
+// from scratch, so no canceled state survives).
+var ErrCanceled = errors.New("lp: solve canceled")
+
 // Solve runs the two-phase revised simplex from a cold start on a
 // fresh workspace and returns the solution.
 //

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // blandEps is the widened zero tolerance used in Bland mode, so that
@@ -43,6 +44,13 @@ const candCap = 64
 // drift check (a residual ||B·x_B - b||_inf against the compiled
 // columns); a drifted iterate triggers a refactorisation.
 const driftCheckEvery = 96
+
+// stopCheckMask gates the cooperative-cancellation poll: the stop flag
+// is loaded every stopCheckMask+1 iterations (a power of two so the
+// gate is a single AND), bounding both the poll's cost in the hot loop
+// and the latency between a cancellation request and the solve
+// observing it to at most that many pivots.
+const stopCheckMask = 63
 
 // WorkspaceStats accumulates solver activity over the lifetime of a
 // Workspace.
@@ -106,6 +114,11 @@ type Workspace struct {
 	rhsScale   float64
 	rng        *xorshift
 	stats      WorkspaceStats
+
+	// stop, when non-nil, is polled every stopCheckMask+1 iterations by
+	// the primal and dual loops; a set flag aborts the solve with
+	// ErrCanceled. See SetStop.
+	stop *atomic.Bool
 }
 
 // NewWorkspace returns an empty solver workspace.
@@ -113,6 +126,18 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 // Stats returns the cumulative solver statistics of this workspace.
 func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
+
+// SetStop installs (or, with nil, removes) a cancellation flag shared
+// with the caller. While a solve runs, the simplex loops poll the flag
+// every few dozen iterations; once it reads true the solve aborts and
+// returns ErrCanceled. The flag is the caller's: it is never cleared
+// by the workspace, so arm a fresh (or freshly reset) flag per solve.
+// Setting the flag is safe from any goroutine; SetStop itself must be
+// called only between solves, like every other workspace method.
+func (ws *Workspace) SetStop(stop *atomic.Bool) { ws.stop = stop }
+
+// stopped reports whether a cancellation flag is installed and set.
+func (ws *Workspace) stopped() bool { return ws.stop != nil && ws.stop.Load() }
 
 func growF(s []float64, n int) []float64 {
 	if cap(s) < n {
@@ -479,6 +504,7 @@ const (
 	statusOptimal iterStatus = iota
 	statusUnbounded
 	statusIterLimit
+	statusCanceled
 )
 
 type pricingMode int
@@ -700,6 +726,9 @@ func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
 		if ws.luBad {
 			return iter, statusIterLimit
 		}
+		if iter&stopCheckMask == 0 && ws.stopped() {
+			return iter, statusCanceled
+		}
 		if obj <= stopBelow {
 			return iter, statusOptimal
 		}
@@ -748,15 +777,19 @@ func (ws *Workspace) primal(stopBelow float64) (int, iterStatus) {
 
 // dualSimplex restores primal feasibility of a dual-feasible basis
 // (negative basic values appear when rows were appended to a previously
-// optimal basis). Returns ok=false when it cannot finish on the warm
-// path — the caller falls back to a cold solve.
-func (ws *Workspace) dualSimplex() (int, bool) {
+// optimal basis). Returns statusOptimal on success, statusIterLimit
+// when it cannot finish on the warm path (the caller falls back to a
+// cold solve) and statusCanceled when the stop flag fired.
+func (ws *Workspace) dualSimplex() (int, iterStatus) {
 	m := ws.m
 	total := ws.n + 2*m
 	maxIter := 50*(m+total) + 1000
 	for iter := 0; iter < maxIter; iter++ {
 		if ws.luBad {
-			return iter, false
+			return iter, statusIterLimit
+		}
+		if iter&stopCheckMask == 0 && ws.stopped() {
+			return iter, statusCanceled
 		}
 		// Leaving: the most negative basic value.
 		r, worst := -1, -feasTol
@@ -766,7 +799,7 @@ func (ws *Workspace) dualSimplex() (int, bool) {
 			}
 		}
 		if r < 0 {
-			return iter, true
+			return iter, statusOptimal
 		}
 		ws.loadRho(r)
 		ws.computeY()
@@ -793,15 +826,15 @@ func (ws *Workspace) dualSimplex() (int, bool) {
 		if best < 0 {
 			// No pivot can lift the violated row: the appended rows are
 			// (numerically) contradictory. Let the cold path decide.
-			return iter, false
+			return iter, statusIterLimit
 		}
 		ws.ftran(best)
 		if ws.w[r] >= -Eps {
-			return iter, false // pivot vanished under FTRAN: numerics
+			return iter, statusIterLimit // pivot vanished under FTRAN: numerics
 		}
 		ws.pivot(r, best)
 	}
-	return maxIter, false
+	return maxIter, statusIterLimit
 }
 
 // extract fills the primal values, objective and duals of an optimal
@@ -916,6 +949,9 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 		iters, status := ws.primal(phase1Stop)
 		sol.Iterations += iters
 		ws.stats.Iterations += iters
+		if status == statusCanceled {
+			return nil, fmt.Errorf("%w (phase 1, m=%d n=%d)", ErrCanceled, m, n)
+		}
 		if status == statusIterLimit {
 			return nil, fmt.Errorf("%w (phase 1, m=%d n=%d)", ErrIterationLimit, m, n)
 		}
@@ -944,6 +980,8 @@ func (ws *Workspace) solveCold(mdl *Model, perturb float64) (*Solution, error) {
 	sol.Iterations += iters
 	ws.stats.Iterations += iters
 	switch status {
+	case statusCanceled:
+		return nil, fmt.Errorf("%w (phase 2, m=%d n=%d)", ErrCanceled, m, n)
 	case statusIterLimit:
 		return nil, fmt.Errorf("%w (phase 2, m=%d n=%d)", ErrIterationLimit, m, n)
 	case statusUnbounded:
@@ -1057,17 +1095,25 @@ func (ws *Workspace) solveWarm(mdl *Model, basis Basis) (sol *Solution, ok bool,
 
 	sol = &Solution{X: make([]float64, n), Dual: make([]float64, m), WarmStarted: true}
 	if primalInfeas {
-		iters, dualOK := ws.dualSimplex()
+		iters, dualStatus := ws.dualSimplex()
 		sol.Iterations += iters
 		sol.DualIterations += iters
 		ws.stats.DualIterations += iters
-		if !dualOK {
+		if dualStatus == statusCanceled {
+			return nil, false, fmt.Errorf("%w (warm dual, m=%d n=%d)", ErrCanceled, m, n)
+		}
+		if dualStatus != statusOptimal {
 			return nil, false, nil
 		}
 	}
 	iters, status := ws.primal(math.Inf(-1))
 	sol.Iterations += iters
 	ws.stats.Iterations += iters
+	if status == statusCanceled {
+		// Cancellation must propagate, never fall back to a cold solve —
+		// a fallback would keep burning time the caller asked back.
+		return nil, false, fmt.Errorf("%w (warm, m=%d n=%d)", ErrCanceled, m, n)
+	}
 	if status == statusIterLimit {
 		// A degenerate plateau trapped the warm primal. Report it as
 		// ErrIterationLimit so SolveFrom runs the full cold ladder —

@@ -52,8 +52,9 @@ func IsCode(err error, code serve.ErrorCode) bool {
 
 // Client talks to one mcastd base URL.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -84,25 +85,36 @@ func apiErr(resp *http.Response) error {
 	return ae
 }
 
-// roundTrip sends one JSON request and hands back the raw response.
-// The caller owns the body.
+// roundTrip sends one JSON request and hands back the raw response,
+// retrying transient failures when the client has a RetryPolicy (the
+// body is marshalled once and re-sent from the start per attempt; for
+// streaming endpoints only the opening exchange retries — once bytes
+// flow, failures surface to the caller). The caller owns the body.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body any) (*http.Response, error) {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		data, err = json.Marshal(body)
 		if err != nil {
 			return nil, err
 		}
-		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return nil, err
+	attempt := func() (*http.Response, error) {
+		var rd io.Reader
+		if data != nil {
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return c.hc.Do(req)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	return c.hc.Do(req)
+	nonIdempotent := (method == http.MethodPost && path == "/v1/jobs") || method == http.MethodPatch
+	return c.doAttempts(ctx, nonIdempotent, attempt)
 }
 
 // doJSON sends one request and decodes a 2xx JSON response into out.

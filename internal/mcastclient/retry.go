@@ -1,0 +1,131 @@
+package mcastclient
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy makes a Client retry transient failures — transport
+// errors and 429/saturated refusals — with jittered exponential
+// backoff. The zero value disables retries entirely (the historical
+// behaviour); a policy with MaxAttempts > 1 enables them for every
+// idempotent call.
+//
+// Job submission is the exception: POST /v1/jobs is not idempotent (a
+// retry after an ambiguous transport failure could enqueue the same
+// batch twice), so SubmitJob only retries when RetryJobs is set — and
+// then only 429 refusals, which provably did not admit the job.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 mean no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (a Retry-After header may still
+	// exceed it — the server's explicit hint wins). 0 means 5s.
+	MaxDelay time.Duration
+	// RetryJobs opts SubmitJob's 429 refusals into retrying.
+	RetryJobs bool
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay computes the backoff before retry number retryNo (1-based):
+// exponential with full jitter — uniform in [d/2, d] where d doubles
+// per retry — so a herd of clients shed together does not return
+// together. A server Retry-After hint overrides the backoff when
+// longer.
+func (p RetryPolicy) delay(retryNo, retryAfterSecs int) time.Duration {
+	d := p.baseDelay() << (retryNo - 1)
+	if max := p.maxDelay(); d > max || d <= 0 { // <= 0: shift overflow
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if ra := time.Duration(retryAfterSecs) * time.Second; ra > d {
+		d = ra
+	}
+	return d
+}
+
+// WithRetry returns a copy of c using policy p. The original client is
+// unchanged, so one transport can serve both retrying and
+// fire-once callers.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
+}
+
+// retryable classifies one attempt's outcome: transport errors (no
+// HTTP response at all — the request may be re-sent against an
+// idempotent endpoint) and 429/saturated refusals (the server
+// explicitly said "later") are worth another try. Context
+// cancellations and every other status are final: a 4xx re-sends to
+// the same rejection, a 5xx already consumed server work (and
+// 503/deadline in particular means the budget we would retry with
+// already expired once).
+func retryable(err error, resp *http.Response) bool {
+	if err != nil {
+		return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	}
+	return resp.StatusCode == http.StatusTooManyRequests
+}
+
+// doAttempts runs attempt() under c's retry policy. nonIdempotent
+// marks requests that must not be re-sent blindly (job submission,
+// platform patches): transport errors there are never retried — the
+// request may have been applied — and 429 refusals (which provably
+// were not) only with RetryJobs. The successful (or final) response is
+// returned unconsumed; intermediate 429 bodies are drained into their
+// *APIError.
+func (c *Client) doAttempts(ctx context.Context, nonIdempotent bool, attempt func() (*http.Response, error)) (*http.Response, error) {
+	resp, err := attempt()
+	if !c.retry.enabled() {
+		return resp, err
+	}
+	for n := 1; n < c.retry.MaxAttempts; n++ {
+		if !retryable(err, resp) {
+			return resp, err
+		}
+		retryAfter := 0
+		if err == nil { // a 429 refusal
+			if nonIdempotent && !c.retry.RetryJobs {
+				return resp, nil
+			}
+			ae := apiErr(resp).(*APIError)
+			retryAfter = ae.RetryAfterSecs
+			err = ae
+		} else if nonIdempotent {
+			// An ambiguous transport failure: the request may have been
+			// applied. Never re-send.
+			return nil, err
+		}
+		t := time.NewTimer(c.retry.delay(n, retryAfter))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		resp, err = attempt()
+	}
+	return resp, err
+}

@@ -1,0 +1,202 @@
+package mcastclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// shedTwice answers 429/saturated to the first two requests of each
+// path, then delegates to ok.
+func shedTwice(ok http.HandlerFunc) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"saturated","message":"busy"}}`)) //nolint:errcheck
+			return
+		}
+		ok(w, r)
+	}, &calls
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestRetrySaturatedThenSuccess(t *testing.T) {
+	h, calls := shedTwice(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"fingerprint":"f","source":"S","targets":["t"]}`)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(fastRetry(4))
+	resp, err := c.Plan(context.Background(), &serve.PlanRequest{})
+	if err != nil {
+		t.Fatalf("retried plan: %v", err)
+	}
+	if resp.Source != "S" {
+		t.Errorf("unexpected response: %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	h, calls := shedTwice(nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, nil)
+	_, err := c.Plan(context.Background(), &serve.PlanRequest{})
+	if !IsCode(err, serve.CodeSaturated) {
+		t.Fatalf("want saturated error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (no policy, no retry)", got)
+	}
+}
+
+func TestRetryAttemptCap(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"saturated","message":"always busy"}}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(fastRetry(3))
+	_, err := c.Plan(context.Background(), &serve.PlanRequest{})
+	if !IsCode(err, serve.CodeSaturated) {
+		t.Fatalf("want saturated after exhausting attempts, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestRetryNonRetryableStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"deadline","message":"too slow"}}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(fastRetry(5))
+	_, err := c.Plan(context.Background(), &serve.PlanRequest{})
+	if !IsCode(err, serve.CodeDeadline) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (503/deadline is final)", got)
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestRetryTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"fingerprint":"f","source":"S","targets":["t"]}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	var calls atomic.Int64
+	base := http.DefaultTransport
+	hc := &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("connection reset")
+		}
+		return base.RoundTrip(r)
+	})}
+	c := New(ts.URL, hc).WithRetry(fastRetry(3))
+	if _, err := c.Plan(context.Background(), &serve.PlanRequest{}); err != nil {
+		t.Fatalf("plan after transport blip: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("transport saw %d attempts, want 2", got)
+	}
+}
+
+func TestRetryJobsOffByDefault(t *testing.T) {
+	h, calls := shedTwice(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-1","state":"running","items":1}`)) //nolint:errcheck
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, nil).WithRetry(fastRetry(5))
+	_, err := c.SubmitJob(context.Background(), &serve.BatchRequest{})
+	if !IsCode(err, serve.CodeSaturated) {
+		t.Fatalf("want saturated (jobs excluded from retries by default), got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d submit attempts, want 1", got)
+	}
+
+	// Opting in retries the refusals (which provably did not admit).
+	calls.Store(0)
+	p := fastRetry(5)
+	p.RetryJobs = true
+	st, err := c.WithRetry(p).SubmitJob(context.Background(), &serve.BatchRequest{})
+	if err != nil {
+		t.Fatalf("retried submit: %v", err)
+	}
+	if st.ID != "job-1" || calls.Load() != 3 {
+		t.Errorf("got job %+v after %d attempts, want job-1 after 3", st, calls.Load())
+	}
+
+	// Transport failures stay final even with RetryJobs: the job may
+	// have been admitted.
+	var tcalls atomic.Int64
+	hc := &http.Client{Transport: roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+		tcalls.Add(1)
+		return nil, errors.New("connection reset")
+	})}
+	_, err = New(ts.URL, hc).WithRetry(p).SubmitJob(context.Background(), &serve.BatchRequest{})
+	if err == nil || tcalls.Load() != 1 {
+		t.Errorf("ambiguous submit failure: err=%v after %d attempts, want error after 1", err, tcalls.Load())
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"saturated","message":"busy"}}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(ts.URL, nil).WithRetry(fastRetry(3))
+	start := time.Now()
+	_, err := c.Plan(ctx, &serve.PlanRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ctx deadline cutting the 30s Retry-After backoff short, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("retry backoff ignored the context (took %s)", time.Since(start))
+	}
+}

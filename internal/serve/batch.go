@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/steady"
 )
 
@@ -25,6 +26,11 @@ type BatchRequest struct {
 	// (results are still cached for later requests), mirroring
 	// PlanRequest.NoCache.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TimeoutMillis bounds the whole batch's compute in milliseconds
+	// (clamped to the server's MaxTimeout; 0 defers to DefaultTimeout).
+	// When the budget expires, items not yet computed drain as
+	// 503/deadline error lines — the stream stays well-formed.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // BatchItem is one entry of a batch: a PlanSpec whose unset fields
@@ -100,20 +106,26 @@ func (s *Server) planItem(ctx context.Context, lane int, spec *PlanSpec, noCache
 		return nil, err
 	}
 	key := res.key()
-	compute := func() (*PlanResponse, error) {
+	compute := func() (resp *PlanResponse, err error) {
+		// Guard the whole leadership, hooks included — see planResolved's
+		// compute for why a leader must never panic through flight.do.
+		defer disarmPanic(&err)
 		if hook := s.batchItemHook; hook != nil {
 			hook()
+		}
+		if err := faultinject.SolveEnter(ctx); err != nil {
+			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var resp *PlanResponse
-		if err := s.pool.runOnEv(lane, func(ev *steady.Evaluator) error {
-			var err error
+		if err := s.pool.runOnEv(lane, func(ev *steady.Evaluator) (err error) {
+			defer disarmPanic(&err)
+			defer armStop(ctx, ev)()
 			resp, err = executeResolved(ev, res)
 			return err
 		}); err != nil {
-			return nil, err
+			return nil, ctxSolveErr(ctx, err)
 		}
 		s.cache.put(key, resp)
 		return resp, nil
@@ -221,10 +233,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMillis)
+	defer cancel()
+	// One admission slot covers the whole fan-out, taken before the
+	// stream starts so saturation is still a clean 429. Per-item
+	// admission would deadlock: the items run on shard lanes this batch
+	// already occupies.
+	if s.limit != nil {
+		if err := s.limit.acquire(ctx); err != nil {
+			s.countDeadline(err)
+			writeError(w, err)
+			return
+		}
+		defer s.limit.release()
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	s.runBatch(r.Context(), req, func(line BatchLine) {
+	s.runBatch(ctx, req, func(line BatchLine) {
 		enc.Encode(line) //nolint:errcheck // client gone: keep draining, nothing to report
 		if flusher != nil {
 			flusher.Flush()

@@ -37,6 +37,12 @@ const (
 	// bodies. (Never a top-level HTTP error: a canceled request has no
 	// reader.)
 	CodeCanceled ErrorCode = "canceled"
+	// CodeDeadline: the request's deadline (timeout_ms or the server's
+	// default timeout) expired before the solve finished; the solver
+	// observed the cancellation mid-iteration and stopped. HTTP 503 —
+	// the request was valid, the server ran out of time, retrying with
+	// a longer budget may succeed.
+	CodeDeadline ErrorCode = "deadline"
 	// CodeInternal: the solve stack failed on a validated instance.
 	// HTTP 500.
 	CodeInternal ErrorCode = "internal"
@@ -102,16 +108,33 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorEnvelope{Error: body})
 }
 
-// errorBody classifies err into (status, envelope body). Context
-// cancellations map to CodeCanceled — they only ever appear in
-// per-item batch lines, never as a top-level response.
+// errorBody classifies err into (status, envelope body). A deadline
+// expiry maps to CodeDeadline at 503 — the request was sound, the time
+// budget was not. A plain context cancellation maps to CodeCanceled:
+// it only ever appears in per-item batch lines, never as a top-level
+// response (a canceled request has no reader).
 func errorBody(err error) (int, ErrorBody) {
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
 		return ae.status, ErrorBody{Code: ae.code, Message: ae.msg}
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, ErrorBody{Code: CodeDeadline, Message: err.Error()}
+	case errors.Is(err, context.Canceled):
 		return http.StatusInternalServerError, ErrorBody{Code: CodeCanceled, Message: err.Error()}
 	}
 	return http.StatusInternalServerError, ErrorBody{Code: CodeInternal, Message: err.Error()}
+}
+
+// internalError builds a 500/internal apiError (panic recovery wraps
+// recovered values through this so they render as the v1 envelope).
+func internalError(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: fmt.Sprintf(format, args...)}
+}
+
+// isSaturated reports whether err is the 429/saturated refusal (the
+// trigger for degraded-mode fallbacks).
+func isSaturated(err error) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.code == CodeSaturated
 }

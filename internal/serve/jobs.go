@@ -210,6 +210,28 @@ func (st *jobStore) finish(j *job, canceled bool) {
 	}
 }
 
+// activeCount reports the unfinished jobs (Drain polls it to zero).
+func (st *jobStore) activeCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.active
+}
+
+// cancelAll cancels every job's context — finished jobs' cancels are
+// no-ops. Running jobs drain their remaining items as "canceled" error
+// lines and finish in state "canceled", exactly like a client DELETE.
+func (st *jobStore) cancelAll() {
+	st.mu.Lock()
+	jobs := make([]*job, 0, len(st.m))
+	for _, j := range st.m {
+		jobs = append(jobs, j)
+	}
+	st.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}
+
 func (st *jobStore) get(id string) (*job, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -261,8 +283,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The job's context is its own: it outlives (and ignores) the
-	// submit request's context — only DELETE cancels it.
+	// submit request's context — only DELETE cancels it. A job honours
+	// an explicit timeout_ms (clamped to MaxTimeout) but not the
+	// server's default interactive timeout: async jobs are the endpoint
+	// for work too long to wait for.
 	ctx, cancel := context.WithCancel(context.Background())
+	if req.TimeoutMillis > 0 {
+		inner := cancel
+		tctx, tcancel := context.WithTimeout(ctx, s.cfg.requestTimeout(req.TimeoutMillis))
+		ctx, cancel = tctx, func() { tcancel(); inner() }
+	}
 	j, err := s.jobs.admit(len(req.Items), cancel)
 	if err != nil {
 		cancel()

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// limiter is the server-wide admission gate over the shard pool: at
+// most maxConcurrent computations run at once, at most maxQueue more
+// wait for a slot, and everything beyond that is shed immediately with
+// 429/saturated. One slot covers one admitted unit of compute — an
+// interactive plan's flight leadership, a whole batch fan-out, a whole
+// what-if fan-out — so the wait queue is bounded in requests, not in
+// solves, and a shed decision is made before any solver work starts.
+//
+// Cache hits, coalesced followers and degraded fallbacks never touch
+// the limiter: shedding exists to protect the solver, and those paths
+// do no solving.
+type limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	// shed counts admissions refused at the queue bound; inflight and
+	// queued are surfaced by /v1/stats and /readyz.
+	shed atomic.Int64
+}
+
+func newLimiter(maxConcurrent, maxQueue int) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes a compute slot, waiting in the bounded queue when the
+// pool is busy. It returns the saturated apiError when the queue is
+// full, or ctx's error if the caller's deadline expires while waiting
+// (a request that dies in the queue never occupies a slot).
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return saturated(1, "server is saturated: %d computations in flight, %d queued (queue limit %d)",
+			len(l.slots), l.maxQueue, l.maxQueue)
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// saturatedNow reports whether a new admission would queue behind a
+// full (or overfull) wait queue — the /readyz signal to stop routing
+// traffic here before it turns into hard 429s.
+func (l *limiter) saturatedNow() bool {
+	return len(l.slots) == cap(l.slots) && l.queued.Load() >= l.maxQueue
+}
+
+// LimiterStats is the admission-control section of /v1/stats.
+type LimiterStats struct {
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+	InFlight      int   `json:"in_flight"`
+	Queued        int64 `json:"queued"`
+	Shed          int64 `json:"shed"`
+}
+
+func (l *limiter) stats() LimiterStats {
+	return LimiterStats{
+		MaxConcurrent: cap(l.slots),
+		MaxQueue:      int(l.maxQueue),
+		InFlight:      len(l.slots),
+		Queued:        l.queued.Load(),
+		Shed:          l.shed.Load(),
+	}
+}

@@ -31,6 +31,16 @@ type PlanRequest struct {
 	// NoCache bypasses the plan cache and the coalescer for this
 	// request (the response is still cached for later requests).
 	NoCache bool `json:"no_cache,omitempty"`
+	// TimeoutMillis bounds this request's compute in milliseconds,
+	// clamped to the server's MaxTimeout; 0 defers to the server's
+	// DefaultTimeout. An expired budget answers 503/deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Degraded opts into the saturation fallbacks: when admission
+	// control sheds this request, answer from the plan cache or — on a
+	// tree platform — with a bounds-only combinatorial plan, marked by
+	// the X-Mcastd-Degraded header, instead of a 429. Responses without
+	// that header are always full-fidelity.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BoundResult is one bound program's outcome.

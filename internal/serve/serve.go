@@ -72,6 +72,21 @@ type Config struct {
 	// MutationLog caps the change records per platform served by
 	// GET /v1/platforms/{id}/log. 0 means DefaultMutationLog.
 	MutationLog int
+	// DefaultTimeout bounds a request's compute when the request sets no
+	// timeout_ms of its own. 0 means no default deadline (the historical
+	// behaviour); negative also means none.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms field, so a client can
+	// shorten its budget but never extend it past the operator's bound.
+	// 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// MaxConcurrent caps the computations (plan flights, batch and
+	// what-if fan-outs) running at once; see limiter. 0 means
+	// 2 x shards; negative disables admission control entirely.
+	MaxConcurrent int
+	// MaxQueue caps how many admissions may wait for a compute slot
+	// before overflow is shed with 429/saturated. 0 means 4 x shards.
+	MaxQueue int
 }
 
 // DefaultCacheSize is the plan cache capacity when Config.CacheSize is
@@ -158,6 +173,55 @@ const DefaultVersionHistory = 64
 // DefaultMutationLog is the per-platform change-log retention when
 // Config.MutationLog is zero.
 const DefaultMutationLog = 256
+
+// DefaultMaxTimeout caps the client-requested timeout_ms when
+// Config.MaxTimeout is zero.
+const DefaultMaxTimeout = 5 * time.Minute
+
+func (c Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 0
+	}
+	return c.DefaultTimeout
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout <= 0 {
+		return DefaultMaxTimeout
+	}
+	return c.MaxTimeout
+}
+
+func (c Config) maxConcurrent() int {
+	switch {
+	case c.MaxConcurrent < 0:
+		return 0 // disabled
+	case c.MaxConcurrent == 0:
+		return 2 * c.shards()
+	}
+	return c.MaxConcurrent
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return 4 * c.shards()
+	}
+	return c.MaxQueue
+}
+
+// requestTimeout resolves the effective deadline of a request that
+// asked for timeoutMillis (0 = none requested): the request's own
+// budget clamped to MaxTimeout, else the server default.
+func (c Config) requestTimeout(timeoutMillis int64) time.Duration {
+	if timeoutMillis <= 0 {
+		return c.defaultTimeout()
+	}
+	d := time.Duration(timeoutMillis) * time.Millisecond
+	if max := c.maxTimeout(); d > max {
+		return max
+	}
+	return d
+}
 
 func (c Config) versionHistory() int {
 	if c.VersionHistory <= 0 {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -9,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/steady"
 )
@@ -29,6 +32,14 @@ const (
 	// it stays out of the body, so a version's plan bytes are directly
 	// comparable to a cold solve of that version's snapshot.
 	HeaderVersion = "X-Mcastd-Version"
+	// HeaderDegraded marks a response answered by a degraded fallback
+	// under saturation instead of a full shard compute: "cache" (the
+	// exact requested plan, from the plan cache) or "tree" (a
+	// bounds-only answer computed combinatorially on a tree platform,
+	// skipping the requested heuristics). Absent on every non-degraded
+	// response — whose bodies therefore stay byte-identical to a serial
+	// cold solve.
+	HeaderDegraded = "X-Mcastd-Degraded"
 )
 
 // UploadRequest is the body of POST /v1/platforms.
@@ -94,7 +105,25 @@ type StatsResponse struct {
 	Batch         BatchStats               `json:"batch"`
 	Jobs          JobStats                 `json:"jobs"`
 	Live          LiveStats                `json:"live"`
+	Resilience    ResilienceStats          `json:"resilience"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// ResilienceStats is the deadline/shedding/recovery section of
+// GET /v1/stats.
+type ResilienceStats struct {
+	// Limiter reports the admission-control state; zero-valued when
+	// admission control is disabled (MaxConcurrent < 0).
+	Limiter LimiterStats `json:"limiter"`
+	// Deadlines counts requests answered 503/deadline.
+	Deadlines int64 `json:"deadlines"`
+	// Degraded counts responses answered by a degraded fallback.
+	Degraded int64 `json:"degraded"`
+	// Panics counts handler panics converted into 500/internal
+	// envelopes by the recovery middleware.
+	Panics int64 `json:"panics"`
+	// Draining reports whether the server is in its shutdown drain.
+	Draining bool `json:"draining"`
 }
 
 // Server is the planning daemon: an http.Handler wiring the platform
@@ -110,6 +139,14 @@ type Server struct {
 	hub    *hub
 	mux    *http.ServeMux
 	start  time.Time
+
+	// limit is the compute admission gate (nil when MaxConcurrent < 0
+	// disabled it). draining flips /readyz unready and is set by Drain.
+	limit        *limiter
+	draining     atomic.Bool
+	deadlineHits atomic.Int64
+	degraded     atomic.Int64
+	panics       atomic.Int64
 
 	// batchLane rotates the starting lane of batch fan-outs so
 	// concurrent batches spread over the pool instead of piling onto
@@ -150,7 +187,11 @@ func New(cfg Config) *Server {
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointAccum),
 	}
+	if mc := cfg.maxConcurrent(); mc > 0 {
+		s.limit = newLimiter(mc, cfg.maxQueue())
+	}
 	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	s.route("POST /v1/platforms", s.handleUpload)
 	s.route("GET /v1/platforms", s.handleListPlatforms)
 	s.route("GET /v1/platforms/{id}", s.handleGetPlatform)
@@ -175,25 +216,56 @@ func (s *Server) Shards() int { return len(s.pool.shards) }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// route registers a handler wrapped with the per-endpoint latency and
-// error accounting surfaced by /v1/stats.
+// route registers a handler wrapped with panic recovery and the
+// per-endpoint latency and error accounting surfaced by /v1/stats.
+//
+// The recovery middleware is what keeps a buggy (or fault-injected)
+// handler from taking down the daemon: a panic is converted into the
+// 500/internal v1 envelope when the response has not started, or into
+// an aborted stream when it has (the client sees a truncated body, the
+// next request sees a healthy server). Shard state survives because
+// every shard Resets its evaluator per request and every LP solve
+// recompiles from scratch — there is no cross-request solver state a
+// mid-solve panic could poison.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				if !sw.wrote {
+					writeError(sw, internalError("handler panicked: %v", p))
+				}
+				// Mid-stream panics cannot be enveloped (the status line is
+				// gone); falling through closes the connection, which is the
+				// strongest truncation signal HTTP/1.1 has.
+			}
+			s.observe(pattern, sw.status, time.Since(t0))
+		}()
+		faultinject.HandlerEnter(pattern)
 		h(sw, r)
-		s.observe(pattern, sw.status, time.Since(t0))
 	})
 }
 
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	// wrote reports whether the response has started (explicit
+	// WriteHeader or first body Write), i.e. whether the recovery
+	// middleware may still write an error envelope.
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // Flush forwards to the wrapped writer so the streaming endpoints
@@ -367,6 +439,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:     make(map[string]EndpointStats),
 	}
 	resp.Jobs = s.jobs.stats()
+	if s.limit != nil {
+		resp.Resilience.Limiter = s.limit.stats()
+	}
+	resp.Resilience.Deadlines = s.deadlineHits.Load()
+	resp.Resilience.Degraded = s.degraded.Load()
+	resp.Resilience.Panics = s.panics.Load()
+	resp.Resilience.Draining = s.draining.Load()
 	s.mu.Lock()
 	resp.Whatif = s.whatif
 	resp.Batch = s.batch
@@ -401,10 +480,22 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, how, shardIdx, err := s.planResolved(res, req.NoCache)
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMillis)
+	defer cancel()
+	resp, how, shardIdx, err := s.planResolved(ctx, res, req.NoCache, req.Degraded)
 	if err != nil {
+		s.countDeadline(err)
 		writeError(w, err)
 		return
+	}
+	if deg, ok := strings.CutPrefix(how, "degraded-"); ok {
+		s.degraded.Add(1)
+		w.Header().Set(HeaderDegraded, deg)
+		if deg == "cache" {
+			how = "hit"
+		} else {
+			how = "miss"
+		}
 	}
 	w.Header().Set(HeaderCache, how)
 	if shardIdx >= 0 {
@@ -416,61 +507,144 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// requestContext derives a request's compute context: the caller's
+// context bounded by the effective timeout (the request's timeout_ms
+// clamped to MaxTimeout, else the server default; see Config).
+func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	if d := s.cfg.requestTimeout(timeoutMillis); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// countDeadline bumps the 503/deadline counter when err is a deadline
+// expiry (handlers call it on their top-level error path).
+func (s *Server) countDeadline(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.deadlineHits.Add(1)
+	}
+}
+
 // Plan resolves and executes one plan request through the full serving
 // stack (registry, cache, coalescer, shard pool). It returns the
 // response, how it was served ("hit", "coalesced" or "miss") and the
 // executing shard index (-1 unless this call computed the plan).
-// It is the library entry point behind POST /v1/plan.
+// It is the library entry point behind POST /v1/plan; the request's
+// TimeoutMillis is honoured (Degraded too), the caller's context is
+// the background one.
 func (s *Server) Plan(req *PlanRequest) (*PlanResponse, string, int, error) {
 	res, err := s.resolve(&req.PlanSpec)
 	if err != nil {
 		return nil, "", -1, err
 	}
-	return s.planResolved(res, req.NoCache)
+	ctx, cancel := s.requestContext(context.Background(), req.TimeoutMillis)
+	defer cancel()
+	return s.planResolved(ctx, res, req.NoCache, req.Degraded)
 }
 
 // planResolved executes an already-resolved spec through the cache,
 // coalescer and shard pool — the shared back half of handlePlan, Plan
 // and the subscription loops (which resolve per version themselves to
 // stamp responses with the version they computed against).
-func (s *Server) planResolved(res *resolved, noCache bool) (*PlanResponse, string, int, error) {
+//
+// ctx bounds the compute: its cancellation is armed as the evaluator's
+// stop flag while the shard solves, so a deadline stops the simplex
+// mid-iteration, not merely between solves. A compute abandoned by
+// ctx returns ctx's error (which coalesced followers do not inherit —
+// they re-run; see flightGroup.do).
+//
+// degraded allows the saturation fallbacks when admission is refused:
+// answer from the plan cache (the exact requested plan, how
+// "degraded-cache"), or — on a tree-classified platform — a
+// bounds-only combinatorial answer on a private evaluator, skipping
+// the heuristics and the shard pool entirely (how "degraded-tree").
+// Degraded answers are never cached and never coalesced: the tree
+// fallback's body is NOT the requested plan's body, and must never be
+// served to a caller that did not opt in.
+func (s *Server) planResolved(ctx context.Context, res *resolved, noCache, degraded bool) (*PlanResponse, string, int, error) {
 	key := res.key()
 	// execIdx records the shard this call computed on; it stays -1 for
 	// cache hits and coalesced followers (whose leader has its own
 	// Plan frame and execIdx).
 	execIdx := -1
-	compute := func() (*PlanResponse, error) {
-		var resp *PlanResponse
-		idx, err := s.pool.run(key, func(ev *steady.Evaluator) error {
-			var err error
+	compute := func() (resp *PlanResponse, err error) {
+		// Guard the whole leadership, hooks included: a panic escaping a
+		// flight leader wakes its followers with a nil response AND a nil
+		// error, which would serve as an empty 200.
+		defer disarmPanic(&err)
+		if s.limit != nil {
+			if err := s.limit.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.limit.release()
+		}
+		if err := faultinject.SolveEnter(ctx); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx, err := s.pool.run(key, func(ev *steady.Evaluator) (err error) {
+			defer disarmPanic(&err)
+			defer armStop(ctx, ev)()
 			resp, err = executeResolved(ev, res)
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return nil, ctxSolveErr(ctx, err)
 		}
 		execIdx = idx
 		s.cache.put(key, resp)
 		return resp, nil
 	}
 
-	if noCache {
-		resp, err := compute()
-		if err != nil {
-			return nil, "", -1, err
+	resp, how, err := func() (*PlanResponse, string, error) {
+		if noCache {
+			resp, err := compute()
+			return resp, "miss", err
 		}
-		return resp, "miss", execIdx, nil
+		if resp, ok := s.cache.get(key); ok {
+			return resp, "hit", nil
+		}
+		resp, err, shared := s.flight.do(key, compute)
+		if shared {
+			how := "coalesced"
+			if isSaturated(err) {
+				// A follower sharing its leader's saturation verdict was
+				// never admitted itself; it may still degrade below.
+				how = ""
+			}
+			return resp, how, err
+		}
+		return resp, "miss", err
+	}()
+	if err == nil {
+		return resp, how, execIdx, nil
 	}
+	if degraded && isSaturated(err) {
+		if resp, ok := s.cache.get(key); ok {
+			return resp, "degraded-cache", -1, nil
+		}
+		if resp, ok := s.degradedTreePlan(res); ok {
+			return resp, "degraded-tree", -1, nil
+		}
+	}
+	return nil, "", -1, err
+}
 
-	if resp, ok := s.cache.get(key); ok {
-		return resp, "hit", -1, nil
+// degradedTreePlan is the saturation fallback for tree platforms: the
+// requested bounds computed combinatorially (fastpath) on a private
+// evaluator, heuristics skipped. It never runs an LP — non-tree
+// platforms return ok=false and the saturation error stands.
+func (s *Server) degradedTreePlan(res *resolved) (*PlanResponse, bool) {
+	var cl graph.Classifier
+	if !cl.Classify(res.g, res.source).IsTree() {
+		return nil, false
 	}
-	resp, err, shared := s.flight.do(key, compute)
+	resp, err := executePlan(steady.NewEvaluator(), res.g, res.fp, res.source, res.targets, res.bounds, 0)
 	if err != nil {
-		return nil, "", -1, err
+		return nil, false
 	}
-	if shared {
-		return resp, "coalesced", -1, nil
-	}
-	return resp, "miss", execIdx, nil
+	resp.PlatformID = res.id
+	return resp, true
 }

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/live"
 )
 
@@ -21,6 +24,11 @@ type SubscribeLine struct {
 	Version int64           `json:"version"`
 	Plan    json.RawMessage `json:"plan,omitempty"`
 	Error   *ErrorBody      `json:"error,omitempty"`
+	// Final marks the stream's terminator line: the server is shutting
+	// down and closed the subscription deliberately. A stream that ends
+	// without a final line was cut by the transport (or the client) —
+	// reconnect-and-resume applies; after a final line it does not.
+	Final bool `json:"final,omitempty"`
 }
 
 // LiveStats counts the live-platform traffic for GET /v1/stats.
@@ -64,20 +72,49 @@ type hubLoop struct {
 type hub struct {
 	mu    sync.Mutex
 	loops map[streamKey]*hubLoop
+	// draining is set by closeAll: every existing loop has been closed
+	// and every loop acquired from here on is closed before it is handed
+	// out, so late subscribers get an immediate final line instead of a
+	// stream that would outlive the drain.
+	draining bool
 }
 
 func newHub() *hub { return &hub{loops: make(map[streamKey]*hubLoop)} }
 
 func (h *hub) acquire(key streamKey, compute live.Compute) *live.Loop {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	hl := h.loops[key]
 	if hl == nil {
 		hl = &hubLoop{loop: live.NewLoop(compute)}
 		h.loops[key] = hl
 	}
 	hl.refs++
+	draining := h.draining
+	h.mu.Unlock()
+	if draining {
+		hl.loop.Close()
+	}
 	return hl.loop
+}
+
+// closeAll closes every replan loop (failing their subscribers' Next
+// with live.ErrClosed, which the subscribe handlers turn into a final
+// terminator line) and marks the hub draining. Entries stay in the map
+// until their subscribers release them — Close is idempotent, so the
+// last-out release closing again is harmless.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	h.draining = true
+	loops := make([]*live.Loop, 0, len(h.loops))
+	for _, hl := range h.loops {
+		loops = append(loops, hl.loop)
+	}
+	h.mu.Unlock()
+	// Close outside the lock: it waits for loop goroutines that may be
+	// mid-compute.
+	for _, l := range loops {
+		l.Close()
+	}
 }
 
 func (h *hub) release(key streamKey) {
@@ -142,7 +179,12 @@ func (s *Server) liveCompute(spec PlanSpec) live.Compute {
 			}
 			return v, nil, err
 		}
-		resp, _, _, err := s.planResolved(res, false)
+		// Replan computes run under the server's default timeout (no
+		// client to carry a timeout_ms); a deadline expiry surfaces as an
+		// error line for the version, and the next mutation retries.
+		ctx, cancel := s.requestContext(context.Background(), 0)
+		defer cancel()
+		resp, _, _, err := s.planResolved(ctx, res, false, false)
 		if err != nil {
 			return res.version, nil, err
 		}
@@ -228,7 +270,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	for {
 		u, err := sub.Next(ctx)
 		if err != nil {
-			// Client gone or loop closed; either way the stream is over.
+			if errors.Is(err, live.ErrClosed) && ctx.Err() == nil {
+				// The server closed the loop (drain) while the client is
+				// still reading: send the stream's final terminator line so
+				// the client can tell a deliberate shutdown from a cut
+				// connection.
+				writeSubscribeLine(w, flusher, sse, 0, SubscribeLine{Final: true})
+			}
+			// Otherwise the client is gone; the stream just ends.
 			return
 		}
 		if u.Version <= after {
@@ -241,23 +290,39 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			_, body := errorBody(u.Err)
 			line.Error = &body
 		}
-		payload, err := json.Marshal(line)
-		if err != nil {
+		if err := faultinject.StreamWrite(ctx); err != nil {
 			return
 		}
-		if sse {
-			// One SSE event per update, id-stamped with the version so
-			// EventSource clients resume with Last-Event-ID semantics.
-			_, err = fmt.Fprintf(w, "id: %d\nevent: plan\ndata: %s\n\n", u.Version, payload)
-		} else {
-			_, err = fmt.Fprintf(w, "%s\n", payload)
-		}
-		if err != nil {
+		if !writeSubscribeLine(w, flusher, sse, u.Version, line) {
 			return
 		}
-		flusher.Flush()
 		s.bumpLive(func(ls *LiveStats) { ls.Updates++ })
 	}
+}
+
+// writeSubscribeLine encodes and flushes one stream line in the
+// negotiated framing. SSE plan events are id-stamped with the version
+// so EventSource clients resume with Last-Event-ID semantics; the
+// final terminator is its own un-stamped "final" event. It reports
+// whether the write reached the transport (false: the client is gone).
+func writeSubscribeLine(w http.ResponseWriter, flusher http.Flusher, sse bool, version int64, line SubscribeLine) bool {
+	payload, err := json.Marshal(line)
+	if err != nil {
+		return false
+	}
+	switch {
+	case sse && line.Final:
+		_, err = fmt.Fprintf(w, "event: final\ndata: %s\n\n", payload)
+	case sse:
+		_, err = fmt.Fprintf(w, "id: %d\nevent: plan\ndata: %s\n\n", version, payload)
+	default:
+		_, err = fmt.Fprintf(w, "%s\n", payload)
+	}
+	if err != nil {
+		return false
+	}
+	flusher.Flush()
+	return true
 }
 
 func (s *Server) bumpLive(f func(*LiveStats)) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/steady"
 	"repro/internal/whatif"
@@ -34,6 +36,11 @@ type WhatifRequest struct {
 	// Sources lists the secondary-source promotion candidates. Omitted
 	// or null means every active non-source node; empty means none.
 	Sources []string `json:"sources"`
+	// TimeoutMillis bounds the whole analysis in milliseconds (clamped
+	// to MaxTimeout; 0 defers to DefaultTimeout). An expired budget
+	// fails the baseline with 503/deadline, or — once streaming — drains
+	// the remaining scenario lines with per-scenario errors.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // WhatifEdge identifies a platform edge on the wire.
@@ -257,14 +264,35 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMillis)
+	defer cancel()
+	// One admission slot covers the baseline and the whole scenario
+	// fan-out (per-scenario admission would deadlock the shard lanes
+	// this request already occupies).
+	if s.limit != nil {
+		if err := s.limit.acquire(ctx); err != nil {
+			s.countDeadline(err)
+			writeError(w, err)
+			return
+		}
+		defer s.limit.release()
+	}
 	p := res.p
 	key := res.key()
 	var base *whatif.Baseline
-	if _, err := s.pool.run(key, func(ev *steady.Evaluator) error {
-		var err error
+	if err := faultinject.SolveEnter(ctx); err != nil {
+		s.countDeadline(err)
+		writeError(w, err)
+		return
+	}
+	if _, err := s.pool.run(key, func(ev *steady.Evaluator) (err error) {
+		defer disarmPanic(&err)
+		defer armStop(ctx, ev)()
 		base, err = whatif.NewBaseline(ev, p)
 		return err
 	}); err != nil {
+		err = ctxSolveErr(ctx, err)
+		s.countDeadline(err)
 		writeError(w, err)
 		return
 	}
@@ -290,7 +318,12 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	// request does not hold the shard lanes against live plan traffic
 	// (cancellation never changes the bytes of a body that is actually
 	// delivered — a canceled request has no reader).
-	ctx := r.Context()
+	// One request-level stop flag, armed on the deadline-bounded ctx and
+	// shared by every worker's evaluator clones, stops scenario solves
+	// mid-iteration when the budget expires (the ctx.Err check below
+	// only catches scenarios that have not started).
+	var stop atomic.Bool
+	defer context.AfterFunc(ctx, func() { stop.Store(true) })()
 	results := make([]whatif.Result, len(scenarios))
 	ready := make(chan int, len(scenarios))
 	var (
@@ -324,6 +357,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 						continue
 					}
 					sev := base.Ev.Clone()
+					sev.SetStop(&stop)
 					results[i] = whatif.Eval(base, sev, g, scenarios[i])
 					// The clone is scenario-private, so a nonzero hit count
 					// attributes the fast path to exactly this scenario.

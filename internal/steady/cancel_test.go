@@ -1,0 +1,91 @@
+package steady
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// diamond builds a non-tree platform (two disjoint S→t paths), so the
+// bounds must run the LP rather than the combinatorial tree fast path.
+func diamond(t *testing.T) Problem {
+	t.Helper()
+	g := graph.New()
+	s := g.AddNode("S")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	tt := g.AddNode("t")
+	g.AddEdge(s, a, 1)
+	g.AddEdge(s, b, 1)
+	g.AddEdge(a, tt, 1)
+	g.AddEdge(b, tt, 1)
+	p, err := NewProblem(g, s, []graph.NodeID{a, b, tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEvaluatorSetStop(t *testing.T) {
+	p := diamond(t)
+	ev := NewEvaluator()
+	var stop atomic.Bool
+	stop.Store(true)
+	ev.SetStop(&stop)
+	if _, err := ev.MulticastLB(p); !errors.Is(err, lp.ErrCanceled) {
+		t.Fatalf("MulticastLB under stop = %v, want lp.ErrCanceled", err)
+	}
+	if _, err := ev.ScatterUB(p); !errors.Is(err, lp.ErrCanceled) {
+		t.Fatalf("ScatterUB under stop = %v, want lp.ErrCanceled", err)
+	}
+
+	// Clearing the flag must leave the evaluator fully usable and its
+	// answers identical to a never-canceled evaluator's.
+	stop.Store(false)
+	got, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEvaluator().MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != want.Period {
+		t.Fatalf("post-cancel period %v differs from fresh %v", got.Period, want.Period)
+	}
+
+	// A canceled evaluation is not cached: the successful re-solve above
+	// must have computed, and a repeat is the cache hit.
+	before := ev.Stats()
+	if _, err := ev.MulticastLB(p); err != nil {
+		t.Fatal(err)
+	}
+	if d := ev.Stats().Delta(before); d.CacheHits != 1 {
+		t.Fatalf("repeat evaluation: %d cache hits, want 1", d.CacheHits)
+	}
+}
+
+// TestEvaluatorSetStopLeavesCacheUsable verifies cached results still
+// answer while the stop flag is set (cancellation refuses new simplex
+// work only).
+func TestEvaluatorSetStopLeavesCacheUsable(t *testing.T) {
+	p := diamond(t)
+	ev := NewEvaluator()
+	want, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	stop.Store(true)
+	ev.SetStop(&stop)
+	got, err := ev.MulticastLB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Period != want.Period {
+		t.Fatalf("cached period under stop = %v, want %v", got.Period, want.Period)
+	}
+}
